@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Extensible-kernel event dispatch (the SPIN-style benchmark).
+
+The paper's systems motivation (BSP+95, CEA+96): an extensible OS
+kernel dispatches events against a set of installed guard predicates.
+The guard list changes rarely -- it is a run-time constant between
+extension installs -- so the dispatcher is a dynamic region: the guard
+interpretation loop unrolls, each guard's type test resolves at stitch
+time, and the dispatcher becomes a straight-line sequence of the
+installed predicates.
+
+This example also shows re-specialization: installing a new guard set
+means entering the region with new constants (here modelled by a keyed
+region on a configuration epoch).
+
+Run:  python examples/event_dispatch.py
+"""
+
+from repro import compile_program
+
+SOURCE = """
+int guards[30];
+
+// guard record: [kind, argument, handler-bit]
+// kinds: 0 = field0 == arg, 1 = field1 > arg, 2 = field2 & arg, 3 = any
+int dispatch(int *gs, int nguards, int *event, int epoch) {
+    int result = 0;
+    dynamicRegion key(epoch) (gs, nguards) {
+        int i;
+        unrolled for (i = 0; i < nguards; i++) {
+            int kind = gs[i * 3];
+            int arg = gs[i * 3 + 1];
+            int handler = gs[i * 3 + 2];
+            int match = 0;
+            switch (kind) {
+                case 0: match = event dynamic[ 0 ] == arg; break;
+                case 1: match = event dynamic[ 1 ] > arg; break;
+                case 2: match = (event dynamic[ 2 ] & arg) != 0; break;
+                default: match = 1;
+            }
+            if (match) result = result + handler;
+        }
+    }
+    return result;
+}
+
+void install(int i, int kind, int arg, int handler) {
+    guards[i * 3] = kind;
+    guards[i * 3 + 1] = arg;
+    guards[i * 3 + 2] = handler;
+}
+
+int main() {
+    // epoch 1: three guards
+    install(0, 0, 7, 1);     // event[0] == 7
+    install(1, 1, 3, 2);     // event[1] > 3
+    install(2, 3, 0, 4);     // wildcard
+    int event[3];
+    int total = 0;
+    int e;
+    for (e = 0; e < 200; e++) {
+        event[0] = e % 16; event[1] = (e * 7) % 16; event[2] = e % 8;
+        total += dispatch(guards, 3, event, 1);
+    }
+    // a kernel extension installs two more guards: re-specialize
+    install(3, 2, 5, 8);     // event[2] & 5
+    install(4, 0, 12, 16);   // event[0] == 12
+    for (e = 0; e < 200; e++) {
+        event[0] = e % 16; event[1] = (e * 7) % 16; event[2] = e % 8;
+        total += dispatch(guards, 5, event, 2);
+    }
+    return total;
+}
+"""
+
+
+def main():
+    print(__doc__)
+    static = compile_program(SOURCE, mode="static").run()
+    dynamic = compile_program(SOURCE, mode="dynamic").run()
+    assert static.value == dynamic.value
+    print("dispatched total (both modes):", static.value)
+    print()
+    print("stitches: %d (one per guard-set epoch)"
+          % len(dynamic.stitch_reports))
+    for report in dynamic.stitch_reports:
+        print("  epoch %s: %d guards unrolled, %d type switches resolved, "
+              "%d instructions"
+              % (report.key[0],
+                 report.loop_iterations.get(1, 1) - 1,
+                 report.const_branches_resolved,
+                 report.instrs_emitted))
+    static_region = static.region_cycles("dispatch", 1, "static")["region"]
+    dyn = dynamic.region_cycles("dispatch", 1, "dynamic")
+    dynamic_region = dyn["stitched"] + dyn["dispatch"]
+    print()
+    print("dispatch cycles, 400 events: static %d vs dynamic %d (%.2fx)"
+          % (static_region, dynamic_region,
+             static_region / dynamic_region))
+
+
+if __name__ == "__main__":
+    main()

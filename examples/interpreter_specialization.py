@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Specializing an interpreter away: the desk-calculator benchmark.
+
+The paper's motivating application class: "interpreters (where the
+data structure that represents the program being interpreted is the
+run-time constant)".  A reverse-polish expression is compiled to a
+tiny bytecode array; the MiniC interpreter walks it inside a
+``dynamicRegion`` with an ``unrolled`` dispatch loop.  The stitcher
+then *is* a compiler: opcode switches resolve statically, the dispatch
+loop disappears, and what remains is straight-line arithmetic.
+
+With the section 5 register-actions extension, even the interpreter's
+operand stack is promoted into machine registers.
+
+Run:  python examples/interpreter_specialization.py
+"""
+
+from repro import compile_program
+from repro.bench.workloads import (
+    PAPER_EXPRESSION, calculator_workload, rpn_reference,
+)
+
+
+def main():
+    print(__doc__)
+    workload = calculator_workload(xs=10, ys=10)
+    print("expression: x*y - 3*y^2 - x^2 + (x+5)*(y-x) + x + y - 1")
+    print("bytecode:   %d RPN operations" % len(PAPER_EXPRESSION))
+    print("reference:  f(3, 4) = %d" % rpn_reference(PAPER_EXPRESSION, 3, 4))
+    print()
+
+    static = compile_program(workload.source, mode="static").run()
+    dynamic = compile_program(workload.source, mode="dynamic").run()
+    actions = compile_program(workload.source, mode="dynamic",
+                              register_actions=True).run()
+    assert static.value == dynamic.value == actions.value \
+        == workload.expected
+
+    n = workload.executions
+
+    def per_exec(run):
+        cycles = run.region_cycles("calc", 1, "dynamic")
+        return (cycles["stitched"] + cycles["dispatch"]) / n
+
+    static_per = static.region_cycles("calc", 1, "static")["region"] / n
+    print("cycles per interpretation (%d interpretations):" % n)
+    print("  interpreted (static code):     %7.1f" % static_per)
+    print("  dynamically compiled:          %7.1f   (%.2fx)"
+          % (per_exec(dynamic), static_per / per_exec(dynamic)))
+    print("  + register actions:            %7.1f   (%.2fx)"
+          % (per_exec(actions), static_per / per_exec(actions)))
+    print()
+    report = actions.stitch_reports[0]
+    print("register actions promoted %d stack slots to registers,"
+          % report.reg_actions["elements_promoted"])
+    print("rewrote %d loads and %d stores into register moves, and"
+          % (report.reg_actions["loads_rewritten"],
+             report.reg_actions["stores_rewritten"]))
+    print("deleted %d address computations."
+          % report.reg_actions["addr_calcs_removed"])
+    print()
+    print("(The paper reports 1.7x for the calculator, 4.1x with")
+    print(" register actions; see EXPERIMENTS.md for the comparison.)")
+
+
+if __name__ == "__main__":
+    main()

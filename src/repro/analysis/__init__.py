@@ -1,0 +1,10 @@
+"""The paper's dataflow analyses: run-time constants + reachability."""
+
+from .conditions import Condition, FALSE, TRUE, exclusive
+from .liveness import liveness
+from .rtconst import RegionAnalysis, analyze_region
+
+__all__ = [
+    "Condition", "FALSE", "RegionAnalysis", "TRUE", "analyze_region",
+    "exclusive", "liveness",
+]

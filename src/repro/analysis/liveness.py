@@ -1,0 +1,56 @@
+"""Block-level liveness analysis for (non-SSA) IR temps.
+
+Backward dataflow producing live-in/live-out sets per block; feeds the
+linear-scan register allocator's interval construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.cfg import Function
+from ..ir.instructions import Phi
+from ..ir.values import Temp
+
+
+def block_use_def(func: Function) -> Dict[str, Tuple[Set[str], Set[str]]]:
+    """Per block: (upward-exposed uses, defs)."""
+    result: Dict[str, Tuple[Set[str], Set[str]]] = {}
+    for name, block in func.blocks.items():
+        uses: Set[str] = set()
+        defs: Set[str] = set()
+        for instr in block.all_instrs():
+            if isinstance(instr, Phi):
+                raise ValueError(
+                    "liveness expects phi-free IR (run from_ssa first)")
+            for value in instr.uses():
+                if isinstance(value, Temp) and value.name not in defs:
+                    uses.add(value.name)
+            dst = instr.defs()
+            if dst is not None:
+                defs.add(dst.name)
+        result[name] = (uses, defs)
+    return result
+
+
+def liveness(func: Function) -> Tuple[Dict[str, Set[str]], Dict[str, Set[str]]]:
+    """Returns (live_in, live_out) per block."""
+    use_def = block_use_def(func)
+    live_in: Dict[str, Set[str]] = {name: set() for name in func.blocks}
+    live_out: Dict[str, Set[str]] = {name: set() for name in func.blocks}
+    order: List[str] = func.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for name in reversed(order):
+            block = func.blocks[name]
+            out: Set[str] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+            uses, defs = use_def[name]
+            new_in = uses | (out - defs)
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_in, live_out

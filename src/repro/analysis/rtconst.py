@@ -1,0 +1,310 @@
+"""Run-time constants analysis + reachability analysis, combined.
+
+This is the pair of interconnected forward dataflow analyses at the
+heart of the paper (section 3.1, appendix A): over the SSA-form body of
+a dynamic region,
+
+* the *run-time constants* analysis computes which SSA values are
+  invariant across executions of the region, seeded by the programmer's
+  annotations; and
+* the *reachability* analysis computes, for each block, the condition
+  (in terms of constant-branch outcomes) under which it executes,
+  letting merges whose incoming conditions are mutually exclusive use
+  the idempotent phi rule -- the key to handling unstructured control
+  flow.
+
+The two are mutually dependent (reachability needs to know which
+branches are constant; constant merges need reachability), so they run
+in an interleaved fixpoint, as the paper does following Click & Cooper.
+The constants analysis is *optimistic* (greatest fixpoint): everything
+defined in the region starts constant and facts are withdrawn until the
+rules of appendix A.1 hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..frontend.errors import AnnotationError
+from ..ir.builder import FrameAddr
+from ..ir.cfg import DynamicRegionInfo, Function
+from ..ir.instructions import (
+    Assign, BinOp, Call, CondBr, Instr, Load, Phi, Store, Switch, UnOp,
+    is_speculatable,
+)
+from ..ir.values import FloatConst, GlobalAddr, IntConst, Temp, Value
+from .conditions import (
+    Condition, FALSE, TRUE, and_atom, or_, pairwise_exclusive,
+)
+
+
+@dataclass
+class RegionAnalysis:
+    """Result of analysing one dynamic region."""
+
+    region: DynamicRegionInfo
+    #: SSA names that are run-time constants.
+    const_names: Set[str] = field(default_factory=set)
+    #: Reachability condition at each region block's entry.
+    reach_in: Dict[str, Condition] = field(default_factory=dict)
+    #: Condition along each intra-region edge ``(pred, succ)``.
+    edge_conditions: Dict[Tuple[str, str], Condition] = field(
+        default_factory=dict)
+    #: Blocks whose merges may use the idempotent phi rule.
+    const_merges: Set[str] = field(default_factory=set)
+    #: Blocks terminated by a branch/switch on a run-time constant.
+    const_branches: Set[str] = field(default_factory=set)
+
+    def is_const(self, value: Value) -> bool:
+        """Is ``value`` a run-time constant (literals included)?"""
+        if isinstance(value, (IntConst, FloatConst, GlobalAddr)):
+            return True
+        if isinstance(value, Temp):
+            return value.name in self.const_names
+        return False
+
+
+def analyze_region(func: Function, region: DynamicRegionInfo,
+                   use_reachability: bool = True) -> RegionAnalysis:
+    """Run the combined analyses over ``region`` of SSA-form ``func``.
+
+    ``use_reachability=False`` disables the reachability analysis
+    (every multi-predecessor merge outside unrolled-loop headers is
+    treated as non-constant), which exists for the ablation study of
+    how much the paper's second analysis buys.
+
+    Raises :class:`AnnotationError` if an ``unrolled`` loop's
+    termination branch is not governed by a run-time constant.
+    """
+    if region.const_temps is None:
+        raise ValueError("region analysis requires SSA form "
+                         "(const_temps not recorded)")
+    blocks = [name for name in func.blocks if name in region.blocks]
+    block_set = set(blocks)
+    result = RegionAnalysis(region)
+
+    # Optimistic initialization: every region-defined name is constant.
+    annotated: Set[str] = set()
+    for value in region.const_temps:
+        if isinstance(value, Temp):
+            annotated.add(value.name)
+    defs: Dict[str, Instr] = {}
+    def_block: Dict[str, str] = {}
+    for name in blocks:
+        for instr in func.blocks[name].all_instrs():
+            dst = instr.defs()
+            if dst is not None:
+                defs[dst.name] = instr
+                def_block[dst.name] = name
+    consts: Set[str] = annotated | set(defs)
+
+    unrolled_headers = {loop.header for loop in region.unrolled_loops}
+    preds = func.predecessors()
+
+    def is_const(value: Value) -> bool:
+        if isinstance(value, (IntConst, FloatConst, GlobalAddr)):
+            return True
+        if isinstance(value, Temp):
+            return value.name in consts
+        return False
+
+    def const_branch_blocks() -> Set[str]:
+        found: Set[str] = set()
+        for name in blocks:
+            term = func.blocks[name].terminator
+            if isinstance(term, (CondBr, Switch)):
+                predicate = term.cond if isinstance(term, CondBr) else term.value
+                if len(set(term.successors())) > 1 and is_const(predicate):
+                    found.add(name)
+        return found
+
+    while True:
+        branch_blocks = const_branch_blocks()
+        if use_reachability:
+            reach_in, edge_conditions = _reachability(
+                func, region, blocks, block_set, branch_blocks)
+        else:
+            reach_in = {name: TRUE for name in blocks}
+            edge_conditions = {}
+
+        const_merges = _find_const_merges(
+            func, blocks, preds, block_set, edge_conditions,
+            unrolled_headers, use_reachability)
+
+        changed = _narrow_constants(
+            func, blocks, consts, annotated, const_merges)
+
+        if const_branch_blocks() == branch_blocks and not changed:
+            result.const_names = consts
+            result.reach_in = reach_in
+            result.edge_conditions = edge_conditions
+            result.const_merges = const_merges
+            result.const_branches = branch_blocks
+            break
+
+    _check_unrolled_loops(func, region, result)
+    return result
+
+
+def _reachability(
+    func: Function,
+    region: DynamicRegionInfo,
+    blocks: List[str],
+    block_set: Set[str],
+    branch_blocks: Set[str],
+) -> Tuple[Dict[str, Condition], Dict[Tuple[str, str], Condition]]:
+    """Forward fixpoint of the reachability conditions analysis."""
+    branch_arity = {
+        name: len(set(func.blocks[name].successors()))
+        for name in branch_blocks
+    }
+    reach_in: Dict[str, Condition] = {name: FALSE for name in blocks}
+    reach_in[region.entry] = TRUE
+    edge_conditions: Dict[Tuple[str, str], Condition] = {}
+    preds = func.predecessors()
+    work = list(blocks)
+    iterations = 0
+    limit = 50 * max(1, len(blocks))
+    while work:
+        iterations += 1
+        if iterations > limit:
+            # Convergence safety net: widen everything to TRUE.
+            for name in blocks:
+                reach_in[name] = TRUE
+            for name in blocks:
+                for succ in func.blocks[name].successors():
+                    if succ in block_set:
+                        edge_conditions[(name, succ)] = TRUE
+            break
+        name = work.pop(0)
+        block = func.blocks[name]
+        cond = reach_in[name]
+        for succ in set(block.successors()):
+            if succ not in block_set:
+                continue
+            if name in branch_blocks:
+                edge_cond = and_atom(cond, (name, succ))
+            else:
+                edge_cond = cond
+            old_edge = edge_conditions.get((name, succ), FALSE)
+            if edge_cond != old_edge:
+                edge_conditions[(name, succ)] = or_(
+                    old_edge, edge_cond, branch_arity)
+            new_in = FALSE
+            for pred in preds[succ]:
+                new_in = or_(new_in,
+                             edge_conditions.get((pred, succ), FALSE),
+                             branch_arity)
+            if succ == region.entry:
+                new_in = TRUE
+            if new_in != reach_in[succ]:
+                reach_in[succ] = new_in
+                if succ not in work:
+                    work.append(succ)
+    return reach_in, edge_conditions
+
+
+def _find_const_merges(
+    func: Function,
+    blocks: List[str],
+    preds: Dict[str, List[str]],
+    block_set: Set[str],
+    edge_conditions: Dict[Tuple[str, str], Condition],
+    unrolled_headers: Set[str],
+    use_reachability: bool,
+) -> Set[str]:
+    merges: Set[str] = set()
+    for name in blocks:
+        in_preds = [p for p in preds[name] if p in block_set]
+        if name in unrolled_headers:
+            # Only one predecessor of an unrolled copy is live at a time.
+            merges.add(name)
+            continue
+        if len(in_preds) < 2:
+            merges.add(name)  # trivially constant (single predecessor)
+            continue
+        if not use_reachability:
+            continue
+        conditions = [edge_conditions.get((p, name), FALSE) for p in in_preds]
+        if pairwise_exclusive(conditions):
+            merges.add(name)
+    return merges
+
+
+def _narrow_constants(
+    func: Function,
+    blocks: List[str],
+    consts: Set[str],
+    annotated: Set[str],
+    const_merges: Set[str],
+) -> bool:
+    """Withdraw constant facts until the appendix-A rules hold.
+
+    Returns True if anything changed.
+    """
+
+    def is_const(value: Value) -> bool:
+        if isinstance(value, (IntConst, FloatConst, GlobalAddr)):
+            return True
+        if isinstance(value, Temp):
+            return value.name in consts
+        return False
+
+    any_change = False
+    changed = True
+    while changed:
+        changed = False
+        for name in blocks:
+            for instr in func.blocks[name].all_instrs():
+                dst = instr.defs()
+                if dst is None or dst.name not in consts \
+                        or dst.name in annotated:
+                    continue
+                if not _def_stays_const(instr, name, is_const, const_merges):
+                    consts.discard(dst.name)
+                    changed = True
+                    any_change = True
+    return any_change
+
+
+def _def_stays_const(instr: Instr, block_name: str, is_const,
+                     const_merges: Set[str]) -> bool:
+    if isinstance(instr, Assign):
+        return is_const(instr.src)
+    if isinstance(instr, BinOp):
+        return (is_speculatable(instr.op) and is_const(instr.lhs)
+                and is_const(instr.rhs))
+    if isinstance(instr, UnOp):
+        return is_speculatable(instr.op) and is_const(instr.src)
+    if isinstance(instr, Load):
+        return not instr.dynamic and is_const(instr.addr)
+    if isinstance(instr, Call):
+        return instr.pure and all(is_const(a) for a in instr.args)
+    if isinstance(instr, Phi):
+        if not all(is_const(v) for v in instr.args.values()):
+            return False
+        if block_name in const_merges:
+            return True
+        # Non-constant merge: the non-idempotent phi rule still allows a
+        # constant result when every reaching definition is the same value.
+        values = list(instr.args.values())
+        return all(v == values[0] for v in values[1:])
+    if isinstance(instr, FrameAddr):
+        # Frame addresses vary across activations of the function.
+        return False
+    if isinstance(instr, Store):
+        return False  # stores define nothing; defensive
+    return False
+
+
+def _check_unrolled_loops(func: Function, region: DynamicRegionInfo,
+                          result: RegionAnalysis) -> None:
+    for loop in region.unrolled_loops:
+        if loop.header not in func.blocks:
+            continue
+        if loop.header not in result.const_branches:
+            term = func.blocks[loop.header].terminator
+            raise AnnotationError(
+                "unrolled loop at %s: termination condition %r is not "
+                "governed by a run-time constant" % (loop.header, term))

@@ -1,0 +1,17 @@
+"""The paper's benchmarks (Table 2 rows) and the measurement harness."""
+
+from .harness import BenchmarkMeasurement, measure
+from .reporting import format_table2, format_table3, table3_dict
+from .workloads import (
+    Workload, all_workloads, calculator_workload,
+    event_dispatcher_workload, record_sorter_workload,
+    scalar_matrix_workload, sparse_matvec_workload,
+)
+
+__all__ = [
+    "BenchmarkMeasurement", "Workload", "all_workloads",
+    "calculator_workload", "event_dispatcher_workload",
+    "format_table2", "format_table3", "measure",
+    "record_sorter_workload", "scalar_matrix_workload",
+    "sparse_matvec_workload", "table3_dict",
+]

@@ -1,0 +1,91 @@
+"""Regenerate the paper's tables from the command line.
+
+Usage::
+
+    python -m repro.bench                  # Table 2 + Table 3, default scale
+    python -m repro.bench --scale 2.0      # larger problem sizes
+    python -m repro.bench --fused          # fused-stitcher cost model
+    python -m repro.bench --register-actions   # add the section 5 line
+    python -m repro.bench --only calculator "record sorter"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from ..machine.costs import FUSED_STITCHER
+from ..runtime.engine import compile_program
+from .harness import measure
+from .reporting import format_table2, format_table3
+from .workloads import all_workloads, calculator_workload
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce Table 2 / Table 3 of 'Fast, Effective "
+                    "Dynamic Compilation' (PLDI 1996).")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem-size multiplier (default 1.0; the "
+                             "paper's sizes are roughly 5-25x)")
+    parser.add_argument("--fused", action="store_true",
+                        help="use the fused-stitcher cost model")
+    parser.add_argument("--no-reachability", action="store_true",
+                        help="disable the reachability analysis")
+    parser.add_argument("--register-actions", action="store_true",
+                        help="also measure the calculator with register "
+                             "actions (the paper's 1.7 -> 4.1 result)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="benchmark-name filter (substring match)")
+    args = parser.parse_args(argv)
+
+    costs = FUSED_STITCHER if args.fused else None
+    rows = []
+    for workload in all_workloads(scale=args.scale):
+        if args.only and not any(sel.lower() in workload.name.lower()
+                                 for sel in args.only):
+            continue
+        started = time.time()
+        try:
+            row = measure(workload, stitcher_costs=costs,
+                          use_reachability=not args.no_reachability)
+        except Exception as exc:  # keep going; report the failure
+            print("%-30s %-30s FAILED: %s: %s"
+                  % (workload.name, workload.config,
+                     type(exc).__name__, exc), file=sys.stderr)
+            continue
+        rows.append(row)
+        print("measured %-30s %-32s (%.1fs)"
+              % (workload.name, workload.config, time.time() - started),
+              file=sys.stderr)
+
+    if not rows:
+        print("nothing measured", file=sys.stderr)
+        return 1
+    print()
+    print(format_table2(rows))
+    print()
+    print(format_table3(rows))
+
+    if args.register_actions:
+        workload = calculator_workload()
+        plain = measure(workload, stitcher_costs=costs)
+        program = compile_program(workload.source, mode="dynamic",
+                                  stitcher_costs=costs,
+                                  register_actions=True)
+        result = program.run()
+        breakdown = result.region_cycles("calc", 1, "dynamic")
+        per_exec = (breakdown["stitched"] + breakdown["dispatch"]) \
+            / workload.executions
+        print()
+        print("register actions (calculator): %.2fx -> %.2fx "
+              "[paper: 1.7 -> 4.1]"
+              % (plain.speedup, plain.static_per_execution / per_exec))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Formatting benchmark measurements as the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .harness import BenchmarkMeasurement
+
+#: Table 3 column order (the paper's headings).
+TABLE3_COLUMNS = [
+    ("constant_folding", "ConstFold"),
+    ("static_branch_elimination", "BranchElim"),
+    ("load_elimination", "LoadElim"),
+    ("dead_code_elimination", "DeadCode"),
+    ("complete_loop_unrolling", "Unroll"),
+    ("strength_reduction", "StrengthRed"),
+]
+
+
+def format_table2(rows: List[BenchmarkMeasurement]) -> str:
+    """Render measurements in the shape of the paper's Table 2."""
+    header = (
+        "%-28s %-30s %9s %12s %22s %12s %10s"
+        % ("Benchmark", "Configuration", "Speedup", "Breakeven",
+           "Overhead(setup/stitch)", "Cyc/Instr", "Stitched")
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        breakeven = row.breakeven_executions
+        breakeven_str = ("%d %s" % (round(row.breakeven_paper_units),
+                                    row.workload.unit)
+                         if breakeven is not None else "never")
+        lines.append(
+            "%-28s %-30s %8.2fx %12s %10d / %9d %11.0f %10d"
+            % (
+                row.workload.name[:28],
+                row.workload.config[:30],
+                row.speedup,
+                breakeven_str[:12],
+                row.setup_cycles,
+                row.stitcher_cycles,
+                row.cycles_per_stitched_instr,
+                row.instrs_stitched,
+            )
+        )
+        lines.append(
+            "%-28s %-30s   (static %.0f vs dynamic %.0f cycles/execution)"
+            % ("", "", row.static_per_execution, row.dynamic_per_execution)
+        )
+    return "\n".join(lines)
+
+
+def format_table3(rows: List[BenchmarkMeasurement]) -> str:
+    """Render the optimizations-applied matrix (paper's Table 3)."""
+    header = "%-34s" % "Benchmark" + "".join(
+        " %-12s" % title for _, title in TABLE3_COLUMNS)
+    lines = [header, "-" * len(header)]
+    seen = set()
+    for row in rows:
+        name = row.workload.name
+        if name in seen:
+            continue  # one Table 3 row per benchmark, like the paper
+        seen.add(name)
+        cells = "".join(
+            " %-12s" % ("yes" if row.optimizations.get(key) else "-")
+            for key, _ in TABLE3_COLUMNS)
+        lines.append("%-34s%s" % (name[:34], cells))
+    return "\n".join(lines)
+
+
+def table3_dict(rows: List[BenchmarkMeasurement]) -> Dict[str, Dict[str, bool]]:
+    result: Dict[str, Dict[str, bool]] = {}
+    for row in rows:
+        result.setdefault(row.workload.name, row.optimizations)
+    return result

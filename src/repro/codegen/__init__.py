@@ -1,0 +1,16 @@
+"""RVM code generation: register allocation, lowering, templates."""
+
+from .asmprinter import format_function, format_instr, format_region
+from .lower import DataLayout, FunctionLowerer, lower_module
+from .objects import (
+    CompiledFunction, ElementAction, HoleDirective, RegionCode,
+    TemplateBlock,
+)
+from .regalloc import Allocation, Location, allocate
+
+__all__ = [
+    "Allocation", "CompiledFunction", "DataLayout", "ElementAction",
+    "FunctionLowerer", "HoleDirective", "Location", "RegionCode",
+    "TemplateBlock", "allocate", "format_function", "format_instr",
+    "format_region", "lower_module",
+]

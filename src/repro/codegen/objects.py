@@ -1,0 +1,151 @@
+"""Compiled-code objects: functions, template blocks, hole directives.
+
+These are the hand-off format between the static code generator and the
+run-time pieces (loader and stitcher): the machine-code side of the
+paper's "templates + directives" interface (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dynamic.table import SlotRef, TablePlan
+from ..machine.isa import MInstr
+
+
+@dataclass
+class HoleDirective:
+    """A HOLE directive: patch one field of one template instruction.
+
+    ``kind`` selects the patch strategy:
+
+    * ``"alu_imm"``   -- the instruction's immediate field holds a run-time
+      constant; overflow falls back to a load from the linearized table.
+    * ``"materialize"`` -- an ``lda rd, zero, 0`` placeholder that loads
+      the constant into a register.
+    * ``"loadbase"``  -- a load/store whose *address* is the constant.
+    * ``"fpool"``     -- a float constant; always loaded from the
+      linearized table (the immediate is patched to the pool index).
+    """
+
+    offset: int
+    kind: str
+    slot: SlotRef
+
+
+@dataclass
+class BranchFixup:
+    """A BRANCH/LABEL directive: a pc-relative instruction at ``offset``
+    whose ``label`` must be re-resolved in stitched code.  Labels of the
+    form ``ext:NAME`` point at the enclosing function's own code (region
+    exit, epilogue); anything else names a template block."""
+
+    offset: int
+    label: str
+
+
+@dataclass
+class TermInfo:
+    """How a template block transfers control.
+
+    kind:
+      * ``"fallthrough"``  -- branch instructions are part of ``instrs``
+        (with fixups); nothing special for the stitcher to do.
+      * ``"const_branch"`` -- no branch code was emitted; the stitcher
+        reads the predicate from ``slot`` and continues along the chosen
+        successor, dead-code-eliminating the rest (CONST_BRANCH).
+      * ``"return"``       -- the block ends by leaving the function.
+    """
+
+    kind: str
+    slot: Optional[SlotRef] = None
+    #: const_branch (2-way): successor labels when the predicate is
+    #: non-zero / zero.
+    if_true: Optional[str] = None
+    if_false: Optional[str] = None
+    #: const_branch (n-way): (case value, successor label) plus default.
+    cases: List[Tuple[int, str]] = field(default_factory=list)
+    default: Optional[str] = None
+    #: fallthrough: successor template blocks reachable from the branch
+    #: instructions in ``instrs`` (already covered by fixups) -- kept for
+    #: the stitcher's worklist.
+    succs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ElementAction:
+    """A register-action directive (the paper's section 5 extension,
+    after Wall's link-time register allocation).
+
+    Tags one template instruction as part of an access to frame-array
+    element ``array_offset[index]``, where the index is a run-time
+    constant (``slot``) or a literal (``const_index``).  If the
+    stitcher promotes that element to a register it rewrites the
+    instruction: address arithmetic is deleted (when ``removable``),
+    loads/stores become register moves.
+    """
+
+    kind: str  # "addr" | "load" | "store"
+    offset: int
+    array_offset: int
+    slot: Optional[SlotRef] = None
+    const_index: int = 0
+    removable: bool = True
+
+
+@dataclass
+class TemplateBlock:
+    """Machine-code template for one region block."""
+
+    name: str
+    instrs: List[MInstr] = field(default_factory=list)
+    holes: List[HoleDirective] = field(default_factory=list)
+    fixups: List[BranchFixup] = field(default_factory=list)
+    term: TermInfo = field(default_factory=lambda: TermInfo("fallthrough"))
+    actions: List[ElementAction] = field(default_factory=list)
+
+
+@dataclass
+class RegionCode:
+    """Everything the stitcher needs for one dynamic region."""
+
+    func_name: str
+    region_id: int
+    table: TablePlan
+    blocks: Dict[str, TemplateBlock] = field(default_factory=dict)
+    entry: str = ""
+    #: Number of ``key(...)`` values (passed in arg registers).
+    key_count: int = 0
+    #: Paper-style directive count for the flat directive stream
+    #: (START/END + holes + loop markers + branches), used for costing.
+    directive_count: int = 0
+    #: Frame offsets of arrays whose every access (function-wide) is a
+    #: tagged constant-index access inside this region's templates --
+    #: the candidates for stitcher-time register promotion.
+    promotable_arrays: List[int] = field(default_factory=list)
+    #: Registers the enclosing function left unused, available to the
+    #: stitcher for element promotion.
+    free_registers: List[int] = field(default_factory=list)
+
+    def loop_of_header(self, name: str):
+        return self.table.loop_of_header(name)
+
+
+@dataclass
+class CompiledFunction:
+    """A function's executable code plus region templates."""
+
+    name: str
+    code: List[MInstr] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    regions: List[RegionCode] = field(default_factory=list)
+    frame_size: int = 0
+    #: Base address after loading (set by the loader).
+    base: int = -1
+
+    def resolve(self, label: str) -> int:
+        """Absolute address of ``label`` (requires the function loaded)."""
+        if self.base < 0:
+            raise ValueError("function %s is not loaded" % self.name)
+        return self.base + self.labels[label]

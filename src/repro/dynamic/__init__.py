@@ -1,0 +1,16 @@
+"""The core contribution: region splitting, tables, the stitcher.
+
+The stitcher and the directive printer live in submodules
+(``repro.dynamic.stitcher``, ``repro.dynamic.directives``) rather than
+being re-exported here: they depend on :mod:`repro.codegen`, which in
+turn depends on this package's table plans, and eager re-exports would
+close that cycle.
+"""
+
+from .splitter import RegionPlan, split_function, split_module, split_region
+from .table import LoopPlan, TablePlan
+
+__all__ = [
+    "LoopPlan", "RegionPlan", "TablePlan",
+    "split_function", "split_module", "split_region",
+]

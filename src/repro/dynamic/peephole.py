@@ -1,0 +1,106 @@
+"""Value-based peephole optimizations applied by the stitcher.
+
+Section 4 of the paper: once a hole's actual value is known, the
+stitcher rewrites instructions to exploit it -- integer multiplications
+by constants become shifts/adds/subtracts, and unsigned divisions and
+moduli by powers of two become shifts and bitwise ands.  These are the
+optimizations a *static* compiler performs for compile-time constants;
+doing them at dynamic-compile time is exactly what makes run-time
+constants as good as compile-time ones.
+
+Each helper returns a replacement instruction list plus the event name
+used for Table 3 / stitch reports, or None when no rewrite applies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..machine.isa import MInstr, SCRATCH2, ZERO
+
+Rewrite = Tuple[List[MInstr], str]
+
+
+def _power_of_two(value: int) -> Optional[int]:
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def _two_bits(value: int) -> Optional[Tuple[int, int]]:
+    if value <= 0:
+        return None
+    if bin(value).count("1") != 2:
+        return None
+    low = (value & -value).bit_length() - 1
+    high = value.bit_length() - 1
+    return high, low
+
+
+def reduce_alu(instr: MInstr, value: int) -> Optional[Rewrite]:
+    """Strength-reduce ``instr`` (immediate form) given its constant
+    operand ``value``.  Register fields are preserved; SCRATCH2 may be
+    used for intermediates (it is reserved for the stitcher)."""
+    op, rd, ra = instr.op, instr.rd, instr.ra
+    if op == "mulq":
+        return _reduce_mul(rd, ra, value)
+    if op == "udivq":
+        if value == 1:
+            return [MInstr("mov", rd=rd, ra=ra)], "div_to_shift"
+        shift = _power_of_two(value)
+        if shift is not None:
+            return ([MInstr("srl", rd=rd, ra=ra, imm=shift)],
+                    "div_to_shift")
+        return None
+    if op == "uremq":
+        if value == 1:
+            return [MInstr("lda", rd=rd, ra=ZERO, imm=0)], "mod_to_and"
+        shift = _power_of_two(value)
+        if shift is not None and value - 1 <= 0x7FFF:
+            return ([MInstr("and", rd=rd, ra=ra, imm=value - 1)],
+                    "mod_to_and")
+        return None
+    if op in ("addq", "subq") and value == 0:
+        return [MInstr("mov", rd=rd, ra=ra)], "identity"
+    if op in ("bis", "xor") and value == 0:
+        return [MInstr("mov", rd=rd, ra=ra)], "identity"
+    if op == "and" and value == 0:
+        return [MInstr("lda", rd=rd, ra=ZERO, imm=0)], "identity"
+    if op in ("sll", "srl", "sra") and value == 0:
+        return [MInstr("mov", rd=rd, ra=ra)], "identity"
+    return None
+
+
+def _reduce_mul(rd: int, ra: int, value: int) -> Optional[Rewrite]:
+    if value == 0:
+        return [MInstr("lda", rd=rd, ra=ZERO, imm=0)], "mul_to_shift"
+    if value == 1:
+        return [MInstr("mov", rd=rd, ra=ra)], "mul_to_shift"
+    if value == -1:
+        return [MInstr("negq", rd=rd, ra=ra)], "mul_to_shift"
+    shift = _power_of_two(value)
+    if shift is not None:
+        return [MInstr("sll", rd=rd, ra=ra, imm=shift)], "mul_to_shift"
+    bits = _two_bits(value)
+    if bits is not None:
+        high, low = bits
+        # rd may alias ra, so the first partial product goes to SCRATCH2.
+        return (
+            [
+                MInstr("sll", rd=SCRATCH2, ra=ra, imm=high),
+                MInstr("sll", rd=rd, ra=ra, imm=low),
+                MInstr("addq", rd=rd, ra=rd, rb=SCRATCH2),
+            ],
+            "mul_to_shift_add",
+        )
+    if value > 2 and _power_of_two(value + 1) is not None:
+        shift = _power_of_two(value + 1)
+        assert shift is not None
+        return (
+            [
+                MInstr("sll", rd=SCRATCH2, ra=ra, imm=shift),
+                MInstr("subq", rd=rd, ra=SCRATCH2, rb=ra),
+            ],
+            "mul_to_shift_sub",
+        )
+    return None

@@ -1,0 +1,115 @@
+"""Pseudo-instructions stitched into a function around a dynamic region.
+
+After splitting, a dynamic region's entry is guarded by:
+
+* :class:`RegionLookup` -- fetch the cached code pointer for the region
+  (keyed by the region's ``key`` values); zero means "not yet compiled".
+* :class:`RegionStitch` -- run the stitcher on the set-up code's
+  constants table, install the code, return its entry address.
+* :class:`RegionEnter` -- an indirect jump to compiled region code.  As
+  a CFG terminator its successor is the template entry block, which
+  gives downstream passes (liveness, register allocation) the correct
+  picture: stitched code is a patched copy of the template, so values
+  live into the template are live at the enter point.
+
+These lower to runtime calls / indirect jumps in the code generator;
+the reference interpreter emulates them (a lookup that always misses,
+a stitch that is the identity), which makes post-split IR executable
+for differential testing without the VM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.instructions import Instr, Terminator
+from ..ir.values import Temp, Value
+
+
+class RegionLookup(Instr):
+    """``dst := lookup(region_id, keys...)`` -- cached code pointer or 0."""
+
+    __slots__ = ("dst", "region_id", "keys")
+
+    def __init__(self, dst: Temp, region_id: int, keys: List[Value]):
+        self.dst = dst
+        self.region_id = region_id
+        self.keys = list(keys)
+
+    def uses(self) -> List[Value]:
+        return list(self.keys)
+
+    def defs(self) -> Optional[Temp]:
+        return self.dst
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.keys = [mapping.get(k, k) for k in self.keys]
+
+    def __repr__(self) -> str:
+        keys = ", ".join(repr(k) for k in self.keys)
+        return "%r := region_lookup(#%d%s)" % (
+            self.dst, self.region_id, (", " + keys) if keys else "")
+
+
+class RegionStitch(Instr):
+    """``dst := stitch(region_id, table)`` -- dynamic-compile the region.
+
+    ``table`` is the address of the run-time constants table the set-up
+    code just filled in.  Returns the stitched code's entry address and
+    caches it under the current key values.
+    """
+
+    __slots__ = ("dst", "region_id", "table", "keys")
+
+    def __init__(self, dst: Temp, region_id: int, table: Value,
+                 keys: List[Value]):
+        self.dst = dst
+        self.region_id = region_id
+        self.table = table
+        self.keys = list(keys)
+
+    def uses(self) -> List[Value]:
+        return [self.table] + list(self.keys)
+
+    def defs(self) -> Optional[Temp]:
+        return self.dst
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.table = mapping.get(self.table, self.table)
+        self.keys = [mapping.get(k, k) for k in self.keys]
+
+    def __repr__(self) -> str:
+        return "%r := region_stitch(#%d, %r)" % (
+            self.dst, self.region_id, self.table)
+
+
+class RegionEnter(Terminator):
+    """Indirect jump to compiled region code.
+
+    The static successor is the template entry block (never actually
+    executed directly -- stitched copies are).
+    """
+
+    __slots__ = ("code", "region_id", "template_entry")
+
+    def __init__(self, code: Value, region_id: int, template_entry: str):
+        self.code = code
+        self.region_id = region_id
+        self.template_entry = template_entry
+
+    def uses(self) -> List[Value]:
+        return [self.code]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.code = mapping.get(self.code, self.code)
+
+    def successors(self) -> List[str]:
+        return [self.template_entry]
+
+    def replace_successor(self, old: str, new: str) -> None:
+        if self.template_entry == old:
+            self.template_entry = new
+
+    def __repr__(self) -> str:
+        return "region_enter(#%d, %r) -> %s" % (
+            self.region_id, self.code, self.template_entry)

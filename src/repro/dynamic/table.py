@@ -1,0 +1,92 @@
+"""The run-time constants table: layout plan and helpers.
+
+Mirrors the paper's structure (Figure 1):
+
+* a *top-level table*, allocated once per region entry key, holding the
+  region's loop-invariant run-time constants that templates reference,
+  followed by one *head slot* per top-level unrolled loop;
+* per unrolled-loop-iteration *records*, chained through a trailing
+  next-pointer slot, with the loop's termination predicate in record
+  slot 0 and the iteration's constants after it.  Nested unrolled
+  loops put their head slot inside the parent iteration's record.
+
+The splitter computes a :class:`TablePlan` statically; the set-up code
+it generates fills the table at run time; the stitcher walks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: A slot reference: (loop_id or None for the top level, index).
+SlotRef = Tuple[Optional[int], int]
+
+
+@dataclass
+class LoopPlan:
+    """Table layout for one unrolled loop."""
+
+    loop_id: int
+    header: str
+    latch: str
+    entry_pred: str
+    body: List[str]
+    #: None for a top-level loop, else the enclosing unrolled loop id.
+    parent: Optional[int]
+    #: Slot (in the parent context) holding the head-of-chain pointer.
+    head_slot: int = -1
+    #: Iteration-scoped constant name -> record slot (1-based; 0 is the
+    #: termination predicate).
+    slots: Dict[str, int] = field(default_factory=dict)
+    #: SSA name of the loop's termination predicate (record slot 0).
+    predicate: str = ""
+    #: Nested unrolled loop id -> record slot holding the nested loop's
+    #: head-of-chain pointer.
+    inner_head_slots: Dict[int, int] = field(default_factory=dict)
+    #: Blocks outside the loop body that reference iteration-scoped
+    #: constants (e.g. early-exit paths returning a per-iteration
+    #: value): the stitcher keeps the iteration environment alive --
+    #: and thus emits per-iteration copies -- for these.
+    extended_body: List[str] = field(default_factory=list)
+
+    @property
+    def record_size(self) -> int:
+        """Predicate + constants + nested heads + next pointer."""
+        return 1 + len(self.slots) + len(self.inner_head_slots) + 1
+
+    @property
+    def next_offset(self) -> int:
+        return self.record_size - 1
+
+
+@dataclass
+class TablePlan:
+    """Complete constants-table layout for one dynamic region."""
+
+    region_id: int
+    #: Top-level constant name -> table slot.
+    slots: Dict[str, int] = field(default_factory=dict)
+    loops: Dict[int, LoopPlan] = field(default_factory=dict)
+    #: Total top-level table size (constants + loop head slots).
+    top_size: int = 0
+    #: Names of constants whose value is floating point (affects how the
+    #: stitcher patches their holes).
+    float_names: Dict[str, bool] = field(default_factory=dict)
+
+    def slot_of(self, name: str) -> Optional[SlotRef]:
+        """Find the slot holding constant ``name``, in any context."""
+        if name in self.slots:
+            return (None, self.slots[name])
+        for loop in self.loops.values():
+            if name in loop.slots:
+                return (loop.loop_id, loop.slots[name])
+            if loop.predicate == name:
+                return (loop.loop_id, 0)
+        return None
+
+    def loop_of_header(self, header: str) -> Optional[LoopPlan]:
+        for loop in self.loops.values():
+            if loop.header == header:
+                return loop
+        return None

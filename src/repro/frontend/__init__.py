@@ -1,0 +1,17 @@
+"""MiniC front end: lexer, parser, type checker, annotations.
+
+See docs/LANGUAGE.md for the language reference.
+"""
+
+from .errors import (
+    AnnotationError, CompileError, LexError, ParseError, TypeError_,
+)
+from .lexer import tokenize
+from .parser import parse
+from .typecheck import BUILTINS, CheckedProgram, FunctionInfo, check
+
+__all__ = [
+    "AnnotationError", "BUILTINS", "CheckedProgram", "CompileError",
+    "FunctionInfo", "LexError", "ParseError", "TypeError_", "check",
+    "parse", "tokenize",
+]

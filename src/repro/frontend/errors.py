@@ -1,0 +1,34 @@
+"""Diagnostics for the MiniC front end."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A user-facing error in MiniC source code."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        if line:
+            super().__init__("%d:%d: %s" % (line, col, message))
+        else:
+            super().__init__(message)
+
+
+class LexError(CompileError):
+    """Invalid token."""
+
+
+class ParseError(CompileError):
+    """Invalid syntax."""
+
+
+class TypeError_(CompileError):
+    """Type-check failure (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+
+class AnnotationError(CompileError):
+    """Invalid dynamic-compilation annotation, e.g. an ``unrolled`` loop
+    outside a dynamic region or a non-constant loop bound."""

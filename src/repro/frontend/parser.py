@@ -1,0 +1,579 @@
+"""Recursive-descent parser for MiniC.
+
+Struct names act as type names (typedef-style), so the paper's
+``Cache *cache`` parameter style parses directly.  The annotations
+``dynamicRegion``, ``key``, ``unrolled`` and ``dynamic`` are parsed
+into dedicated AST forms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from . import astnodes as ast
+from .errors import ParseError
+from .lexer import Token, tokenize
+from .types import (
+    FLOAT, INT, UINT, VOID, ArrayType, PointerType, StructType, Type,
+)
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses a token stream into an :class:`ast.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._struct_names: Set[str] = set()
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(
+                "expected %r, found %r" % (want, tok.text or tok.kind),
+                tok.line, tok.col,
+            )
+        return self._next()
+
+    # -- types -------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        tok = self._peek()
+        if tok.kind == "kw" and tok.text in ("int", "uint", "float", "void", "struct"):
+            return True
+        return tok.kind == "ident" and tok.text in self._struct_names
+
+    def _parse_base_type(self) -> Type:
+        tok = self._next()
+        if tok.kind == "kw":
+            if tok.text == "int":
+                return INT
+            if tok.text == "uint":
+                return UINT
+            if tok.text == "float":
+                return FLOAT
+            if tok.text == "void":
+                return VOID
+            if tok.text == "struct":
+                name = self._expect("ident").text
+                self._struct_names.add(name)
+                return StructType(name)
+        if tok.kind == "ident" and tok.text in self._struct_names:
+            return StructType(tok.text)
+        raise ParseError("expected a type, found %r" % tok.text, tok.line, tok.col)
+
+    def _parse_type(self) -> Type:
+        base = self._parse_base_type()
+        while self._accept("op", "*"):
+            base = PointerType(base)
+        return base
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Decl] = []
+        while not self._check("eof"):
+            decls.append(self._parse_top_decl())
+        return ast.Program(decls)
+
+    def _parse_top_decl(self) -> ast.Decl:
+        tok = self._peek()
+        if self._check("kw", "struct") and self._peek(2).text == "{":
+            return self._parse_struct_decl()
+        pure = self._accept("kw", "pure") is not None
+        decl_type = self._parse_type()
+        name_tok = self._expect("ident")
+        if self._check("op", "("):
+            return self._parse_func_decl(decl_type, name_tok, pure)
+        if pure:
+            raise ParseError("'pure' applies only to functions",
+                             tok.line, tok.col)
+        var_type, init = self._parse_declarator_tail(decl_type)
+        self._expect("op", ";")
+        return ast.GlobalVar(name_tok.text, var_type, init,
+                             name_tok.line, name_tok.col)
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        kw = self._expect("kw", "struct")
+        name = self._expect("ident").text
+        self._struct_names.add(name)
+        self._expect("op", "{")
+        fields: List[Tuple[str, Type]] = []
+        while not self._accept("op", "}"):
+            base = self._parse_type()
+            fname = self._expect("ident").text
+            ftype, init = self._parse_declarator_tail(base)
+            if init is not None:
+                raise ParseError("struct fields cannot have initializers",
+                                 kw.line, kw.col)
+            fields.append((fname, ftype))
+            while self._accept("op", ","):
+                fname = self._expect("ident").text
+                ftype2, _ = self._parse_declarator_tail(base)
+                fields.append((fname, ftype2))
+            self._expect("op", ";")
+        self._expect("op", ";")
+        return ast.StructDecl(name, fields, kw.line, kw.col)
+
+    def _parse_declarator_tail(
+        self, base: Type
+    ) -> Tuple[Type, Optional[ast.Expr]]:
+        """Array suffixes and an optional initializer."""
+        result = base
+        sizes: List[int] = []
+        while self._accept("op", "["):
+            size_tok = self._expect("int")
+            sizes.append(int(size_tok.value))  # type: ignore[arg-type]
+            self._expect("op", "]")
+        for size in reversed(sizes):
+            result = ArrayType(result, size)
+        init: Optional[ast.Expr] = None
+        if self._accept("op", "="):
+            init = self._parse_expr()
+        return result, init
+
+    def _parse_func_decl(self, ret_type: Type, name_tok: Token,
+                         pure: bool = False) -> ast.FuncDecl:
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._check("op", ")"):
+            if self._check("kw", "void") and self._peek(1).text == ")":
+                self._next()
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    pname = self._expect("ident")
+                    params.append(ast.Param(pname.text, ptype, pname.line))
+                    if not self._accept("op", ","):
+                        break
+        self._expect("op", ")")
+        if self._accept("op", ";"):
+            return ast.FuncDecl(name_tok.text, ret_type, params, None,
+                                name_tok.line, name_tok.col, pure=pure)
+        body = self._parse_block()
+        return ast.FuncDecl(name_tok.text, ret_type, params, body,
+                            name_tok.line, name_tok.col, pure=pure)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        open_tok = self._expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", open_tok.line, open_tok.col)
+            stmts.append(self._parse_stmt())
+        self._expect("op", "}")
+        return ast.Block(stmts, open_tok.line, open_tok.col)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self._parse_block()
+        if tok.kind == "op" and tok.text == ";":
+            self._next()
+            return ast.Block([], tok.line, tok.col)
+        if tok.kind == "kw":
+            handler = {
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "for": self._parse_for,
+                "switch": self._parse_switch,
+                "break": self._parse_break,
+                "continue": self._parse_continue,
+                "return": self._parse_return,
+                "goto": self._parse_goto,
+                "unrolled": self._parse_unrolled,
+                "dynamicRegion": self._parse_dynamic_region,
+            }.get(tok.text)
+            if handler is not None:
+                return handler()
+        if tok.kind == "ident" and self._peek(1).text == ":" \
+                and tok.text not in self._struct_names:
+            self._next()
+            self._next()
+            stmt = self._parse_stmt()
+            return ast.LabeledStmt(tok.text, stmt, tok.line, tok.col)
+        if self._at_type():
+            # A statement beginning with a type keyword is always a
+            # declaration.  A statement beginning with a struct name is a
+            # declaration only when a declarator follows (``Cache *c;``);
+            # otherwise the name is an ordinary expression.
+            if tok.kind == "kw" or self._is_decl_lookahead():
+                return self._parse_var_decl()
+        expr = self._parse_expr()
+        self._expect("op", ";")
+        return ast.ExprStmt(expr, tok.line, tok.col)
+
+    def _is_decl_lookahead(self) -> bool:
+        """After an initial struct-name ident: does a declarator follow?"""
+        offset = 1
+        while self._peek(offset).text == "*":
+            offset += 1
+        return self._peek(offset).kind == "ident"
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        start = self._peek()
+        base = self._parse_type()
+        decls: List[ast.Stmt] = []
+        while True:
+            extra_ptr = base
+            while self._accept("op", "*"):
+                extra_ptr = PointerType(extra_ptr)
+            name_tok = self._expect("ident")
+            var_type, init = self._parse_declarator_tail(extra_ptr)
+            decls.append(ast.VarDecl(name_tok.text, var_type, init,
+                                     name_tok.line, name_tok.col))
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(decls, start.line, start.col)
+
+    def _parse_if(self) -> ast.Stmt:
+        kw = self._expect("kw", "if")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        then = self._parse_stmt()
+        otherwise: Optional[ast.Stmt] = None
+        if self._accept("kw", "else"):
+            otherwise = self._parse_stmt()
+        return ast.If(cond, then, otherwise, kw.line, kw.col)
+
+    def _parse_while(self) -> ast.Stmt:
+        kw = self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        body = self._parse_stmt()
+        return ast.While(cond, body, kw.line, kw.col)
+
+    def _parse_do_while(self) -> ast.Stmt:
+        kw = self._expect("kw", "do")
+        body = self._parse_stmt()
+        self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(body, cond, kw.line, kw.col)
+
+    def _parse_for(self, unrolled: bool = False) -> ast.Stmt:
+        kw = self._expect("kw", "for")
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check("op", ";"):
+            if self._at_type():
+                init = self._parse_var_decl()
+            else:
+                expr = self._parse_expr()
+                self._expect("op", ";")
+                init = ast.ExprStmt(expr, kw.line, kw.col)
+        else:
+            self._next()
+        cond: Optional[ast.Expr] = None
+        if not self._check("op", ";"):
+            cond = self._parse_expr()
+        self._expect("op", ";")
+        update: Optional[ast.Expr] = None
+        if not self._check("op", ")"):
+            update = self._parse_expr()
+        self._expect("op", ")")
+        body = self._parse_stmt()
+        return ast.For(init, cond, update, body, unrolled, kw.line, kw.col)
+
+    def _parse_unrolled(self) -> ast.Stmt:
+        kw = self._expect("kw", "unrolled")
+        if self._check("kw", "for"):
+            return self._parse_for(unrolled=True)
+        if self._check("kw", "while"):
+            self._next()
+            self._expect("op", "(")
+            cond = self._parse_expr()
+            self._expect("op", ")")
+            body = self._parse_stmt()
+            return ast.UnrolledWhile(cond, body, kw.line, kw.col)
+        tok = self._peek()
+        raise ParseError("'unrolled' must precede 'for' or 'while'",
+                         tok.line, tok.col)
+
+    def _parse_switch(self) -> ast.Stmt:
+        kw = self._expect("kw", "switch")
+        self._expect("op", "(")
+        expr = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", "{")
+        cases: List[ast.SwitchCase] = []
+        while not self._accept("op", "}"):
+            values: Optional[List[int]]
+            case_tok = self._peek()
+            if self._accept("kw", "case"):
+                values = []
+                lit = self._parse_expr()
+                values.append(self._const_int(lit))
+                self._expect("op", ":")
+                while self._check("kw", "case"):
+                    self._next()
+                    lit = self._parse_expr()
+                    values.append(self._const_int(lit))
+                    self._expect("op", ":")
+            elif self._accept("kw", "default"):
+                values = None
+                self._expect("op", ":")
+            else:
+                raise ParseError("expected 'case' or 'default'",
+                                 case_tok.line, case_tok.col)
+            stmts: List[ast.Stmt] = []
+            while not (self._check("kw", "case") or self._check("kw", "default")
+                       or self._check("op", "}")):
+                stmts.append(self._parse_stmt())
+            cases.append(ast.SwitchCase(values, stmts, case_tok.line))
+        return ast.Switch(expr, cases, kw.line, kw.col)
+
+    def _const_int(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-" \
+                and isinstance(expr.operand, ast.IntLit):
+            return -expr.operand.value
+        raise ParseError("case label must be an integer constant",
+                         expr.line, expr.col)
+
+    def _parse_break(self) -> ast.Stmt:
+        kw = self._expect("kw", "break")
+        self._expect("op", ";")
+        stmt = ast.Break()
+        stmt.line, stmt.col = kw.line, kw.col
+        return stmt
+
+    def _parse_continue(self) -> ast.Stmt:
+        kw = self._expect("kw", "continue")
+        self._expect("op", ";")
+        stmt = ast.Continue()
+        stmt.line, stmt.col = kw.line, kw.col
+        return stmt
+
+    def _parse_return(self) -> ast.Stmt:
+        kw = self._expect("kw", "return")
+        value: Optional[ast.Expr] = None
+        if not self._check("op", ";"):
+            value = self._parse_expr()
+        self._expect("op", ";")
+        return ast.Return(value, kw.line, kw.col)
+
+    def _parse_goto(self) -> ast.Stmt:
+        kw = self._expect("kw", "goto")
+        label = self._expect("ident").text
+        self._expect("op", ";")
+        return ast.Goto(label, kw.line, kw.col)
+
+    def _parse_dynamic_region(self) -> ast.Stmt:
+        kw = self._expect("kw", "dynamicRegion")
+        key_vars: List[str] = []
+        if self._accept("kw", "key"):
+            self._expect("op", "(")
+            key_vars = self._parse_ident_list()
+            self._expect("op", ")")
+        self._expect("op", "(")
+        const_vars = self._parse_ident_list()
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.DynamicRegion(const_vars, key_vars, body, kw.line, kw.col)
+
+    def _parse_ident_list(self) -> List[str]:
+        names: List[str] = []
+        if self._check("ident"):
+            names.append(self._next().text)
+            while self._accept("op", ","):
+                names.append(self._expect("ident").text)
+        return names
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_conditional()
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "=":
+            self._next()
+            rhs = self._parse_assignment()
+            return ast.Assign(lhs, rhs, None, tok.line, tok.col)
+        if tok.kind == "op" and tok.text in _COMPOUND_ASSIGN:
+            self._next()
+            rhs = self._parse_assignment()
+            return ast.Assign(lhs, rhs, tok.text[:-1], tok.line, tok.col)
+        return lhs
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "?":
+            self._next()
+            then = self._parse_expr()
+            self._expect("op", ":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(cond, then, otherwise, tok.line, tok.col)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind != "op":
+                return lhs
+            prec = _PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return lhs
+            self._next()
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.Binary(tok.text, lhs, rhs, tok.line, tok.col)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(tok.text, operand, tok.line, tok.col)
+        if tok.kind == "op" and tok.text == "*":
+            self._next()
+            operand = self._parse_unary()
+            return ast.Deref(operand, False, tok.line, tok.col)
+        if tok.kind == "kw" and tok.text == "dynamic":
+            self._next()
+            self._expect("op", "*")
+            operand = self._parse_unary()
+            return ast.Deref(operand, True, tok.line, tok.col)
+        if tok.kind == "op" and tok.text == "&":
+            self._next()
+            operand = self._parse_unary()
+            return ast.AddrOf(operand, tok.line, tok.col)
+        if tok.kind == "kw" and tok.text == "sizeof":
+            self._next()
+            self._expect("op", "(")
+            target = self._parse_type()
+            self._expect("op", ")")
+            return ast.SizeOf(target, tok.line, tok.col)
+        if tok.kind == "op" and tok.text == "(" and self._is_cast_lookahead():
+            self._next()
+            target = self._parse_type()
+            self._expect("op", ")")
+            operand = self._parse_unary()
+            return ast.Cast(target, operand, tok.line, tok.col)
+        return self._parse_postfix()
+
+    def _is_cast_lookahead(self) -> bool:
+        after = self._peek(1)
+        if after.kind == "kw" and after.text in ("int", "uint", "float", "void",
+                                                 "struct"):
+            return True
+        return after.kind == "ident" and after.text in self._struct_names
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.kind == "op" and tok.text == "[":
+                self._next()
+                index = self._parse_expr()
+                self._expect("op", "]")
+                expr = ast.Index(expr, index, False, tok.line, tok.col)
+            elif tok.kind == "kw" and tok.text == "dynamic":
+                after = self._peek(1)
+                if after.text == "[":
+                    self._next()
+                    self._next()
+                    index = self._parse_expr()
+                    self._expect("op", "]")
+                    expr = ast.Index(expr, index, True, tok.line, tok.col)
+                elif after.text == "->":
+                    self._next()
+                    self._next()
+                    name = self._expect("ident").text
+                    expr = ast.Field(expr, name, True, True, tok.line, tok.col)
+                else:
+                    break
+            elif tok.kind == "op" and tok.text == ".":
+                self._next()
+                name = self._expect("ident").text
+                expr = ast.Field(expr, name, False, False, tok.line, tok.col)
+            elif tok.kind == "op" and tok.text == "->":
+                self._next()
+                name = self._expect("ident").text
+                expr = ast.Field(expr, name, True, False, tok.line, tok.col)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self._next()
+                expr = ast.IncDec(expr, tok.text, tok.line, tok.col)
+            else:
+                break
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind == "int":
+            return ast.IntLit(int(tok.value), tok.line, tok.col)  # type: ignore[arg-type]
+        if tok.kind == "float":
+            return ast.FloatLit(float(tok.value), tok.line, tok.col)  # type: ignore[arg-type]
+        if tok.kind == "ident":
+            if self._check("op", "("):
+                self._next()
+                args: List[ast.Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._parse_expr())
+                    while self._accept("op", ","):
+                        args.append(self._parse_expr())
+                self._expect("op", ")")
+                return ast.Call(tok.text, args, tok.line, tok.col)
+            return ast.Var(tok.text, tok.line, tok.col)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise ParseError("unexpected token %r" % (tok.text or tok.kind),
+                         tok.line, tok.col)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,202 @@
+"""MiniC type system.
+
+MiniC is the C subset this reproduction compiles: 64-bit signed and
+unsigned integers, IEEE doubles, pointers, fixed-size arrays and
+structs.  Memory is *word addressed*: every scalar occupies one word,
+so ``sizeof`` counts words, not bytes.  This keeps the VM's memory
+model simple without changing anything the paper's analyses care
+about (address arithmetic stays ordinary integer arithmetic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Type:
+    """Base class for MiniC types."""
+
+    def size(self) -> int:
+        """Size in words."""
+        raise NotImplementedError
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class IntType(Type):
+    """64-bit integer; ``signed`` selects signed vs unsigned operators."""
+
+    def __init__(self, signed: bool = True):
+        self.signed = signed
+
+    def size(self) -> int:
+        return 1
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.signed == self.signed
+
+    def __hash__(self) -> int:
+        return hash(("int", self.signed))
+
+    def __repr__(self) -> str:
+        return "int" if self.signed else "uint"
+
+
+class FloatType(Type):
+    """IEEE double."""
+
+    def size(self) -> int:
+        return 1
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "float"
+
+
+class VoidType(Type):
+    def size(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class PointerType(Type):
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def size(self) -> int:
+        return 1
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __repr__(self) -> str:
+        return "%r*" % self.pointee
+
+
+class ArrayType(Type):
+    def __init__(self, elem: Type, length: int):
+        self.elem = elem
+        self.length = length
+
+    def size(self) -> int:
+        return self.elem.size() * self.length
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ArrayType) and other.elem == self.elem
+                and other.length == self.length)
+
+    def __hash__(self) -> int:
+        return hash(("array", self.elem, self.length))
+
+    def __repr__(self) -> str:
+        return "%r[%d]" % (self.elem, self.length)
+
+
+class StructType(Type):
+    """A named struct with word-offset field layout."""
+
+    def __init__(self, name: str):
+        self.name = name
+        #: field name -> (word offset, field type), in declaration order.
+        self.fields: Dict[str, Tuple[int, Type]] = {}
+        self._size = 0
+        self.complete = False
+
+    def add_field(self, name: str, ftype: Type) -> None:
+        if name in self.fields:
+            raise ValueError("duplicate field %s in struct %s" % (name, self.name))
+        self.fields[name] = (self._size, ftype)
+        self._size += ftype.size()
+
+    def field(self, name: str) -> Tuple[int, Type]:
+        if name not in self.fields:
+            raise KeyError("struct %s has no field %s" % (self.name, name))
+        return self.fields[name]
+
+    def size(self) -> int:
+        return self._size
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+    def __repr__(self) -> str:
+        return "struct %s" % self.name
+
+
+class FuncType(Type):
+    def __init__(self, ret: Type, params: List[Type]):
+        self.ret = ret
+        self.params = params
+
+    def size(self) -> int:
+        return 1  # function pointers occupy a word
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, FuncType) and other.ret == self.ret
+                and other.params == self.params)
+
+    def __hash__(self) -> int:
+        return hash(("func", self.ret, tuple(self.params)))
+
+    def __repr__(self) -> str:
+        return "%r(%s)" % (self.ret, ", ".join(repr(p) for p in self.params))
+
+
+INT = IntType(signed=True)
+UINT = IntType(signed=False)
+FLOAT = FloatType()
+VOID = VoidType()
+
+
+def is_integer(t: Type) -> bool:
+    return isinstance(t, IntType)
+
+
+def is_arithmetic(t: Type) -> bool:
+    return isinstance(t, (IntType, FloatType))
+
+
+def is_pointerish(t: Type) -> bool:
+    """Pointer or array (arrays decay to pointers in expressions)."""
+    return isinstance(t, (PointerType, ArrayType))
+
+
+def decay(t: Type) -> Type:
+    """Array-to-pointer decay, as in C."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.elem)
+    return t
+
+
+def common_arithmetic_type(a: Type, b: Type) -> Optional[Type]:
+    """The usual arithmetic conversions: float wins, then unsigned."""
+    if not (is_arithmetic(a) and is_arithmetic(b)):
+        return None
+    if isinstance(a, FloatType) or isinstance(b, FloatType):
+        return FLOAT
+    a_signed = isinstance(a, IntType) and a.signed
+    b_signed = isinstance(b, IntType) and b.signed
+    return INT if (a_signed and b_signed) else UINT

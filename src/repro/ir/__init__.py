@@ -1,0 +1,16 @@
+"""Three-address-code IR: CFGs, SSA, dominance, the AST lowering."""
+
+from .builder import build_module
+from .cfg import (
+    BasicBlock, DynamicRegionInfo, Function, GlobalData, Module,
+    UnrolledLoopInfo,
+)
+from .dominance import DominatorTree
+from .printer import format_function, format_module
+from .ssa import from_ssa, is_ssa, to_ssa
+
+__all__ = [
+    "BasicBlock", "DominatorTree", "DynamicRegionInfo", "Function",
+    "GlobalData", "Module", "UnrolledLoopInfo", "build_module",
+    "format_function", "format_module", "from_ssa", "is_ssa", "to_ssa",
+]

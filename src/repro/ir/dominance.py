@@ -1,0 +1,107 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper-Harvey-Kennedy iterative algorithm ("A Simple,
+Fast Dominance Algorithm").  Used by SSA construction and by loop
+analysis in the region splitter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .cfg import Function
+
+
+class DominatorTree:
+    """Immediate dominators, dominance frontiers and child lists."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.rpo: List[str] = func.rpo()
+        self._rpo_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.rpo)
+        }
+        self.preds: Dict[str, List[str]] = func.predecessors()
+        #: block -> immediate dominator (entry maps to itself).
+        self.idom: Dict[str, str] = {}
+        #: block -> blocks it immediately dominates.
+        self.children: Dict[str, List[str]] = {name: [] for name in self.rpo}
+        #: block -> dominance frontier.
+        self.frontier: Dict[str, Set[str]] = {name: set() for name in self.rpo}
+        self._compute_idoms()
+        self._compute_frontiers()
+
+    def _compute_idoms(self) -> None:
+        entry = self.func.entry
+        assert entry is not None
+        idom: Dict[str, Optional[str]] = {name: None for name in self.rpo}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for name in self.rpo:
+                if name == entry:
+                    continue
+                new_idom: Optional[str] = None
+                for pred in self.preds[name]:
+                    if pred not in self._rpo_index or idom.get(pred) is None:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(idom, pred, new_idom)
+                if new_idom is not None and idom[name] != new_idom:
+                    idom[name] = new_idom
+                    changed = True
+        for name, dom in idom.items():
+            if dom is None:
+                continue
+            self.idom[name] = dom
+            if name != entry:
+                self.children[dom].append(name)
+
+    def _intersect(self, idom: Dict[str, Optional[str]], a: str, b: str) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                parent = idom[a]
+                assert parent is not None
+                a = parent
+            while index[b] > index[a]:
+                parent = idom[b]
+                assert parent is not None
+                b = parent
+        return a
+
+    def _compute_frontiers(self) -> None:
+        for name in self.rpo:
+            preds = [p for p in self.preds[name] if p in self.idom]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner != self.idom[name]:
+                    self.frontier[runner].add(name)
+                    runner = self.idom[runner]
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if ``a`` dominates ``b`` (reflexively)."""
+        entry = self.func.entry
+        runner = b
+        while True:
+            if runner == a:
+                return True
+            if runner == entry:
+                return a == entry
+            runner = self.idom[runner]
+
+    def dom_tree_preorder(self) -> List[str]:
+        entry = self.func.entry
+        assert entry is not None
+        order: List[str] = []
+        stack = [entry]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(reversed(self.children[name]))
+        return order

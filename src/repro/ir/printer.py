@@ -1,0 +1,55 @@
+"""Human-readable dumps of IR functions and modules.
+
+Used by tests (golden comparisons) and for debugging compiler passes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import Function, Module
+
+
+def format_function(func: Function) -> str:
+    """Render ``func`` as text, blocks in definition order."""
+    lines: List[str] = []
+    params = ", ".join(p.name for p in func.params)
+    lines.append("func %s(%s) {" % (func.name, params))
+    for region in func.regions:
+        keys = " key(%s)" % ", ".join(region.key_vars) if region.key_vars else ""
+        lines.append(
+            "  ; region %d%s consts(%s) entry=%s exit=%s blocks=%s"
+            % (
+                region.region_id,
+                keys,
+                ", ".join(region.const_vars),
+                region.entry,
+                region.exit,
+                ",".join(sorted(region.blocks)),
+            )
+        )
+        for loop in region.unrolled_loops:
+            lines.append(
+                "  ; unrolled loop %d header=%s latch=%s body=%s"
+                % (loop.loop_id, loop.header, loop.latch,
+                   ",".join(sorted(loop.body)))
+            )
+    for name in func.blocks:
+        block = func.blocks[name]
+        marker = " ; entry" if name == func.entry else ""
+        lines.append("%s:%s" % (name, marker))
+        for instr in block.instrs:
+            lines.append("  %r" % instr)
+        if block.terminator is not None:
+            lines.append("  %r" % block.terminator)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts: List[str] = []
+    for data in module.globals.values():
+        parts.append("global %s = %r" % (data.name, data.values))
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)

@@ -1,0 +1,143 @@
+"""Evaluation semantics for IR operators.
+
+Shared by the reference interpreter, the constant folder, the stitcher's
+value-based peepholes and the RVM virtual machine, so that "what does
+``ashr`` mean" is defined exactly once.
+
+Integers are 64-bit two's complement; division truncates toward zero
+and remainder takes the dividend's sign (C semantics).  Shift counts
+are masked to 0..63.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Union
+
+from .values import to_unsigned, wrap_int
+
+Number = Union[int, float]
+
+
+class EvalTrap(Exception):
+    """Run-time arithmetic trap (division by zero)."""
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalTrap("integer division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap_int(q)
+
+
+def _smod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalTrap("integer modulo by zero")
+    return wrap_int(a - _sdiv(a, b) * b)
+
+
+def _udiv(a: int, b: int) -> int:
+    ua, ub = to_unsigned(a), to_unsigned(b)
+    if ub == 0:
+        raise EvalTrap("integer division by zero")
+    return wrap_int(ua // ub)
+
+
+def _umod(a: int, b: int) -> int:
+    ua, ub = to_unsigned(a), to_unsigned(b)
+    if ub == 0:
+        raise EvalTrap("integer modulo by zero")
+    return wrap_int(ua % ub)
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        raise EvalTrap("float division by zero")
+    return a / b
+
+
+_INT_BIN: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: wrap_int(a + b),
+    "sub": lambda a, b: wrap_int(a - b),
+    "mul": lambda a, b: wrap_int(a * b),
+    "div": _sdiv,
+    "udiv": _udiv,
+    "mod": _smod,
+    "umod": _umod,
+    "and": lambda a, b: wrap_int(a & b),
+    "or": lambda a, b: wrap_int(a | b),
+    "xor": lambda a, b: wrap_int(a ^ b),
+    "shl": lambda a, b: wrap_int(a << (b & 63)),
+    "lshr": lambda a, b: wrap_int(to_unsigned(a) >> (b & 63)),
+    "ashr": lambda a, b: wrap_int(a >> (b & 63)),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "ult": lambda a, b: int(to_unsigned(a) < to_unsigned(b)),
+    "ule": lambda a, b: int(to_unsigned(a) <= to_unsigned(b)),
+    "ugt": lambda a, b: int(to_unsigned(a) > to_unsigned(b)),
+    "uge": lambda a, b: int(to_unsigned(a) >= to_unsigned(b)),
+}
+
+_FLOAT_BIN: Dict[str, Callable[[float, float], Number]] = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": _fdiv,
+    "feq": lambda a, b: int(a == b),
+    "fne": lambda a, b: int(a != b),
+    "flt": lambda a, b: int(a < b),
+    "fle": lambda a, b: int(a <= b),
+    "fgt": lambda a, b: int(a > b),
+    "fge": lambda a, b: int(a >= b),
+}
+
+
+def eval_binop(op: str, lhs: Number, rhs: Number) -> Number:
+    """Apply a binary IR operator to concrete values."""
+    if op in _INT_BIN:
+        return _INT_BIN[op](int(lhs), int(rhs))
+    if op in _FLOAT_BIN:
+        return _FLOAT_BIN[op](float(lhs), float(rhs))
+    raise ValueError("unknown binary operator %r" % op)
+
+
+def eval_unop(op: str, value: Number) -> Number:
+    """Apply a unary IR operator to a concrete value."""
+    if op == "neg":
+        return wrap_int(-int(value))
+    if op == "fneg":
+        return -float(value)
+    if op == "not":
+        return int(value == 0)
+    if op == "bnot":
+        return wrap_int(~int(value))
+    if op == "itof":
+        return float(int(value))
+    if op == "ftoi":
+        return wrap_int(int(float(value)))
+    raise ValueError("unknown unary operator %r" % op)
+
+
+#: Pure builtin implementations, shared by the interpreter and the VM's
+#: runtime (and usable by set-up code evaluation in the splitter tests).
+PURE_BUILTINS: Dict[str, Callable[..., Number]] = {
+    "imax": lambda a, b: max(int(a), int(b)),
+    "imin": lambda a, b: min(int(a), int(b)),
+    "iabs": lambda a: wrap_int(abs(int(a))),
+    "fsqrt": lambda a: math.sqrt(a),
+    "fsin": lambda a: math.sin(a),
+    "fcos": lambda a: math.cos(a),
+    "fexp": lambda a: math.exp(a),
+    "flog": lambda a: math.log(a),
+    "fpow": lambda a, b: math.pow(a, b),
+    "fabs": lambda a: abs(float(a)),
+    "ffloor": lambda a: math.floor(a),
+    "fmax": lambda a, b: max(float(a), float(b)),
+    "fmin": lambda a, b: min(float(a), float(b)),
+}

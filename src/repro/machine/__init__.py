@@ -1,0 +1,11 @@
+"""The RVM substrate: ISA, cost model, virtual machine, loader."""
+
+from .costs import FUSED_STITCHER, OP_CYCLES, StitcherCosts, op_cost
+from .isa import MInstr, reg_name
+from .loader import load_program
+from .vm import VM, VMError
+
+__all__ = [
+    "FUSED_STITCHER", "MInstr", "OP_CYCLES", "StitcherCosts", "VM",
+    "VMError", "load_program", "op_cost", "reg_name",
+]

@@ -1,0 +1,125 @@
+"""Cycle cost model for the RVM.
+
+Latencies are flavoured after the DEC Alpha 21064 (the paper's
+evaluation machine): single-cycle integer ALU, multi-cycle loads,
+expensive multiplies, very expensive divides (the 21064 had no integer
+divide instruction; compilers called a software routine) and moderate
+floating-point latency.  The *relative* costs are what matters for
+reproducing the paper's Table 2 shape -- they are exactly the costs the
+stitcher's value-based peepholes trade against (divide vs. shift,
+multiply vs. shift/add chains, loads vs. immediates).
+
+Stitcher costs model the paper's directive-interpreting dynamic
+compiler, whose overhead the paper measures in the hundreds of cycles
+*per stitched instruction* (Table 2 discussion: the separation of
+set-up code, directives and the stitcher makes dynamic compilation
+expensive; fusing them is future work).  The ablation benchmark
+exercises the cheaper fused mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Per-opcode execution cost in cycles.
+OP_CYCLES: Dict[str, int] = {
+    "lda": 1, "ldih": 1, "mov": 1, "fmov": 1, "nop": 1,
+    "ldq": 3, "ldt": 3,
+    "stq": 1, "stt": 1,
+    "addq": 1, "subq": 1, "and": 1, "bis": 1, "xor": 1,
+    "sll": 1, "srl": 1, "sra": 1, "negq": 1, "ornot": 1,
+    "cmpeq": 1, "cmpne": 1, "cmplt": 1, "cmple": 1,
+    "cmpult": 1, "cmpule": 1,
+    "mulq": 12,
+    "divq": 50, "udivq": 50, "remq": 50, "uremq": 50,
+    "addt": 6, "subt": 6, "mult": 6,
+    "divt": 32,
+    "cmpteq": 6, "cmptne": 6, "cmptlt": 6, "cmptle": 6,
+    "cvtqt": 6, "cvttq": 6, "fneg": 6,
+    "br": 1, "beq": 1, "bne": 1,
+    "jtab": 6,  # bounds check + table load + indirect jump
+    "jmp": 2, "jsr": 2, "ret": 2,
+    "halt": 0,
+}
+
+#: Costs of runtime services (``call_rt``), excluding the work the
+#: service itself models (the stitcher adds its own charge).
+RT_CYCLES: Dict[str, int] = {
+    "alloc": 24,
+    "print_int": 40,
+    "print_float": 40,
+    "region_lookup": 18,   # hash the keys, probe the code cache
+    "region_stitch": 60,   # call overhead; stitch work charged separately
+    # pure math builtins: library-call flavoured
+    "imax": 8, "imin": 8, "iabs": 6,
+    "fsqrt": 30, "fsin": 60, "fcos": 60, "fexp": 60, "flog": 60,
+    "fpow": 90, "fabs": 6, "ffloor": 10, "fmax": 8, "fmin": 8,
+}
+
+
+@dataclass
+class StitcherCosts:
+    """Cost model for the dynamic compiler itself.
+
+    The paper's stitcher interprets a directive stream, copies template
+    instructions and patches holes; its measured overhead (Table 2) is
+    hundreds of cycles per stitched instruction.  These knobs let the
+    ablation bench reproduce the paper's "merging set-up with stitching
+    would drastically reduce cost" observation by shrinking the
+    directive-interpretation terms.
+    """
+
+    #: Interpreting one directive (START/HOLE/ENTER_LOOP/...).
+    per_directive: int = 240
+    #: Copying one template instruction into the code buffer.
+    per_instr_copied: int = 60
+    #: Patching one hole (table load, range check, field insert).
+    per_hole: int = 100
+    #: Resolving one branch target in copied code.
+    per_branch_fixup: int = 70
+    #: Appending one value to the linearized large-constants table.
+    per_pool_entry: int = 80
+    #: Following one iteration-record link while unrolling.
+    per_loop_record: int = 110
+    #: One-time region set-up (code-cache insertion, buffer allocation).
+    per_region: int = 800
+    #: Per peephole rewrite attempt that fires.
+    per_peephole: int = 60
+    #: Value-based peephole optimizations on/off (ablation knob).
+    enable_peepholes: bool = True
+
+    def scaled(self, factor: float) -> "StitcherCosts":
+        """A proportionally cheaper/dearer stitcher (ablations)."""
+        return StitcherCosts(
+            per_directive=int(self.per_directive * factor),
+            per_instr_copied=int(self.per_instr_copied * factor),
+            per_hole=int(self.per_hole * factor),
+            per_branch_fixup=int(self.per_branch_fixup * factor),
+            per_pool_entry=int(self.per_pool_entry * factor),
+            per_loop_record=int(self.per_loop_record * factor),
+            per_region=int(self.per_region * factor),
+            per_peephole=int(self.per_peephole * factor),
+            enable_peepholes=self.enable_peepholes,
+        )
+
+
+#: Fused-stitcher cost model: the paper's proposed future optimization
+#: where set-up code directly emits instructions, skipping directive
+#: interpretation and the intermediate table.
+FUSED_STITCHER = StitcherCosts(
+    per_directive=8,
+    per_instr_copied=10,
+    per_hole=8,
+    per_branch_fixup=12,
+    per_pool_entry=14,
+    per_loop_record=10,
+    per_region=150,
+    per_peephole=30,
+)
+
+
+def op_cost(op: str, rt_name: str = "") -> int:
+    if op == "call_rt":
+        return RT_CYCLES.get(rt_name, 20)
+    return OP_CYCLES.get(op, 1)

@@ -1,0 +1,43 @@
+"""Loading compiled functions into a VM and resolving symbols."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..codegen.objects import CompiledFunction
+from .vm import VM, VMError
+
+
+def load_program(vm: VM, compiled: Dict[str, CompiledFunction]) -> None:
+    """Install every function's code and resolve branch/call targets.
+
+    Intra-function labels resolve against the function's own label
+    table; ``func:NAME`` labels (calls) resolve to the entry of the
+    named function.
+    """
+    for function in compiled.values():
+        function.base = vm.install_code(function.code)
+    for function in compiled.values():
+        for instr in function.code:
+            if instr.op == "jtab" and isinstance(instr.extra, tuple) \
+                    and instr.extra and instr.extra[0] == "labels":
+                _, table, default = instr.extra
+                instr.extra = (
+                    [function.base + function.labels[label]
+                     for label in table],
+                    function.base + function.labels[default],
+                )
+                continue
+            if instr.label is None:
+                continue
+            if instr.label.startswith("func:"):
+                callee = instr.label[5:]
+                target = compiled.get(callee)
+                if target is None:
+                    raise VMError("call to unknown function %s" % callee)
+                instr.target = target.base
+            else:
+                if instr.label not in function.labels:
+                    raise VMError("unresolved label %s in %s"
+                                  % (instr.label, function.name))
+                instr.target = function.base + function.labels[instr.label]

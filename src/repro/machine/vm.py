@@ -1,0 +1,246 @@
+"""The RVM virtual machine: executes RVM code with cycle accounting.
+
+The VM is the reproduction's stand-in for the paper's DEC Alpha 21064
+and its hardware cycle counters: every executed instruction is charged
+its cost-model cycles, attributed to the *owner* tag of the code it
+belongs to (function body, region set-up code, stitched region code...),
+which is what the measurement harness reads to reproduce Table 2.
+
+Runtime services (``call_rt``) cover allocation, printing, the pure
+math builtins, and the two dynamic-compilation hooks
+(``region_lookup`` / ``region_stitch``) that the runtime engine
+installs handlers for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..ir.semantics import EvalTrap, eval_binop
+from ..ir.values import wrap_int
+from .costs import op_cost
+from .isa import (
+    ALU_OPS, ARG_BASE, FALU_OPS, FREG_BASE, FRV, MInstr, RA, RV, SP, ZERO,
+)
+
+Number = Union[int, float]
+
+
+class VMError(Exception):
+    """Machine fault: wild address, bad opcode, cycle budget exceeded..."""
+
+
+#: Pure builtin signatures: name -> (arg kinds, result kind).
+_PURE_SIGS: Dict[str, Tuple[str, str]] = {
+    "imax": ("ii", "i"), "imin": ("ii", "i"), "iabs": ("i", "i"),
+    "fsqrt": ("f", "f"), "fsin": ("f", "f"), "fcos": ("f", "f"),
+    "fexp": ("f", "f"), "flog": ("f", "f"), "fpow": ("ff", "f"),
+    "fabs": ("f", "f"), "ffloor": ("f", "f"),
+    "fmax": ("ff", "f"), "fmin": ("ff", "f"),
+}
+
+_RETURN_SENTINEL = -2
+
+
+class VM:
+    """A complete machine: code memory, data memory, registers."""
+
+    HEAP_BASE = 0x40000
+
+    def __init__(self, memory_words: int = 1 << 22,
+                 max_cycles: int = 4_000_000_000):
+        self.memory: List[Number] = [0] * memory_words
+        self.code: List[MInstr] = []
+        self.regs: List[Number] = [0] * 64
+        self.cycles = 0
+        self.max_cycles = max_cycles
+        self.cycles_by_owner: Dict[str, int] = {}
+        self.instrs_by_owner: Dict[str, int] = {}
+        #: executed-instruction histogram by opcode (cost-model input).
+        self.op_counts: Dict[str, int] = {}
+        self.output: List[Number] = []
+        self.heap_next = self.HEAP_BASE
+        #: name -> handler(vm, instr) -> int result for r0.
+        self.rt_handlers: Dict[str, Callable[["VM", MInstr], int]] = {}
+        self._steps = 0
+
+    # -- code & memory -----------------------------------------------------
+
+    def install_code(self, instrs: List[MInstr]) -> int:
+        """Append resolved code; returns its base address."""
+        base = len(self.code)
+        for instr in instrs:
+            instr.cost = op_cost(instr.op, instr.name or "")
+            self.code.append(instr)
+        return base
+
+    def alloc(self, words: int) -> int:
+        addr = self.heap_next
+        self.heap_next += max(1, words)
+        if self.heap_next >= len(self.memory) - (1 << 16):
+            raise VMError("heap exhausted")
+        return addr
+
+    def load(self, addr: int) -> Number:
+        if not 0 <= addr < len(self.memory):
+            raise VMError("load from wild address %#x" % addr)
+        return self.memory[addr]
+
+    def store(self, addr: int, value: Number) -> None:
+        if not 0 <= addr < len(self.memory):
+            raise VMError("store to wild address %#x" % addr)
+        self.memory[addr] = value
+
+    def charge(self, owner: str, cycles: int, instrs: int = 0) -> None:
+        """Attribute synthetic work (e.g. the stitcher's) to ``owner``."""
+        self.cycles += cycles
+        self.cycles_by_owner[owner] = \
+            self.cycles_by_owner.get(owner, 0) + cycles
+        if instrs:
+            self.instrs_by_owner[owner] = \
+                self.instrs_by_owner.get(owner, 0) + instrs
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, entry: int, int_args: Optional[List[Tuple[int, Number]]] = None
+            ) -> Tuple[int, float]:
+        """Execute from ``entry`` until the top-level return.
+
+        ``int_args`` is a list of (register, value) pairs to preload
+        (argument passing).  Returns ``(r0, f0)``.
+        """
+        regs = self.regs
+        memory = self.memory
+        code = self.code
+        for reg, value in int_args or []:
+            regs[reg] = value
+        regs[SP] = len(memory) - 8
+        regs[RA] = _RETURN_SENTINEL
+        regs[ZERO] = 0
+        pc = entry
+        cycles_by_owner = self.cycles_by_owner
+        instrs_by_owner = self.instrs_by_owner
+        op_counts = self.op_counts
+        alu = ALU_OPS
+        falu = FALU_OPS
+        while pc != _RETURN_SENTINEL:
+            if not 0 <= pc < len(code):
+                raise VMError("pc out of range: %d" % pc)
+            instr = code[pc]
+            op = instr.op
+            self.cycles += instr.cost
+            owner = instr.owner
+            cycles_by_owner[owner] = \
+                cycles_by_owner.get(owner, 0) + instr.cost
+            instrs_by_owner[owner] = instrs_by_owner.get(owner, 0) + 1
+            op_counts[op] = op_counts.get(op, 0) + 1
+            if self.cycles > self.max_cycles:
+                raise VMError("cycle budget exceeded")
+            pc += 1
+            if op == "ldq" or op == "ldt":
+                addr = int(regs[instr.ra]) + instr.imm
+                if not 0 <= addr < len(memory):
+                    raise VMError("load from wild address %#x at pc %d"
+                                  % (addr, pc - 1))
+                regs[instr.rd] = memory[addr]
+            elif op == "stq" or op == "stt":
+                addr = int(regs[instr.ra]) + instr.imm
+                if not 0 <= addr < len(memory):
+                    raise VMError("store to wild address %#x at pc %d"
+                                  % (addr, pc - 1))
+                memory[addr] = regs[instr.rb]
+            elif op == "lda":
+                regs[instr.rd] = wrap_int(int(regs[instr.ra]) + instr.imm)
+            elif op == "ldih":
+                regs[instr.rd] = wrap_int(
+                    (int(regs[instr.rd]) << 16) | (instr.imm & 0xFFFF))
+            elif op in alu:
+                rhs = regs[instr.rb] if instr.rb is not None else instr.imm
+                try:
+                    regs[instr.rd] = eval_binop(alu[op], int(regs[instr.ra]),
+                                                int(rhs))
+                except EvalTrap as trap:
+                    raise VMError("arithmetic trap at pc %d: %s"
+                                  % (pc - 1, trap))
+            elif op == "mov" or op == "fmov":
+                regs[instr.rd] = regs[instr.ra]
+            elif op == "br":
+                pc = instr.target
+            elif op == "beq":
+                if regs[instr.ra] == 0:
+                    pc = instr.target
+            elif op == "bne":
+                if regs[instr.ra] != 0:
+                    pc = instr.target
+            elif op == "jtab":
+                targets, default = instr.extra  # resolved by the loader
+                index = int(regs[instr.ra]) - instr.imm
+                if 0 <= index < len(targets):
+                    pc = targets[index]
+                else:
+                    pc = default
+            elif op in falu:
+                try:
+                    regs[instr.rd] = eval_binop(
+                        falu[op], float(regs[instr.ra]),
+                        float(regs[instr.rb]))
+                except EvalTrap as trap:
+                    raise VMError("float trap at pc %d: %s" % (pc - 1, trap))
+            elif op == "negq":
+                regs[instr.rd] = wrap_int(-int(regs[instr.ra]))
+            elif op == "ornot":
+                regs[instr.rd] = wrap_int(~int(regs[instr.ra]))
+            elif op == "fneg":
+                regs[instr.rd] = -float(regs[instr.ra])
+            elif op == "cvtqt":
+                regs[instr.rd] = float(int(regs[instr.ra]))
+            elif op == "cvttq":
+                regs[instr.rd] = wrap_int(int(float(regs[instr.ra])))
+            elif op == "jsr":
+                regs[RA] = pc
+                pc = instr.target
+            elif op == "ret":
+                pc = int(regs[RA])
+            elif op == "jmp":
+                pc = int(regs[instr.ra])
+            elif op == "call_rt":
+                self._call_rt(instr)
+            elif op == "halt":
+                break
+            elif op == "nop":
+                pass
+            else:
+                raise VMError("unknown opcode %r at pc %d" % (op, pc - 1))
+            regs[ZERO] = 0
+        int_result = int(regs[RV])
+        float_result = float(regs[FRV]) if isinstance(regs[FRV], float) else 0.0
+        return int_result, float_result
+
+    def _call_rt(self, instr: MInstr) -> None:
+        name = instr.name or ""
+        regs = self.regs
+        farg_base = FREG_BASE + ARG_BASE  # float arg i lives in f16+i
+        if name == "alloc":
+            regs[RV] = self.alloc(int(regs[ARG_BASE]))
+        elif name == "print_int":
+            self.output.append(int(regs[ARG_BASE]))
+        elif name == "print_float":
+            self.output.append(float(regs[farg_base]))
+        elif name in _PURE_SIGS:
+            from ..ir.semantics import PURE_BUILTINS
+            kinds, result = _PURE_SIGS[name]
+            args = []
+            for position, kind in enumerate(kinds):
+                if kind == "i":
+                    args.append(int(regs[ARG_BASE + position]))
+                else:
+                    args.append(float(regs[farg_base + position]))
+            value = PURE_BUILTINS[name](*args)
+            if result == "i":
+                regs[RV] = wrap_int(int(value))
+            else:
+                regs[FRV] = float(value)
+        elif name in self.rt_handlers:
+            regs[RV] = self.rt_handlers[name](self, instr)
+        else:
+            raise VMError("unknown runtime call %r" % name)

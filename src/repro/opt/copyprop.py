@@ -1,0 +1,54 @@
+"""Copy propagation over SSA form.
+
+``x := y`` makes every use of ``x`` a use of ``y``; the copy itself is
+then dead and removed.  Copies whose source is a
+:class:`~repro.ir.values.HoleRef` are *not* propagated -- holes must
+stay inside the template instructions that carry their directives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.cfg import Function
+from ..ir.instructions import Assign
+from ..ir.values import HoleRef, Value
+
+
+def copy_propagation(func: Function) -> int:
+    """Propagate SSA copies; returns the number removed."""
+    mapping: Dict[Value, Value] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if isinstance(instr, Assign) and not isinstance(instr.src, HoleRef):
+                mapping[instr.dst] = instr.src
+    if not mapping:
+        return 0
+    # Resolve chains x -> y -> z.
+    for dst in list(mapping):
+        seen = {dst}
+        src = mapping[dst]
+        while src in mapping and src not in seen:
+            seen.add(src)
+            src = mapping[src]
+        mapping[dst] = src
+    # Keep region metadata in sync: annotated constant/key values may be
+    # the propagated copies themselves.
+    for region in func.regions:
+        if region.const_temps is not None:
+            region.const_temps = [mapping.get(v, v) for v in region.const_temps]
+        if region.key_temps is not None:
+            region.key_temps = [mapping.get(v, v) for v in region.key_temps]
+    removed = 0
+    for block in func.blocks.values():
+        kept = []
+        for instr in block.instrs:
+            if isinstance(instr, Assign) and instr.dst in mapping:
+                removed += 1
+                continue
+            instr.replace_uses(mapping)
+            kept.append(instr)
+        block.instrs = kept
+        if block.terminator is not None:
+            block.terminator.replace_uses(mapping)
+    return removed

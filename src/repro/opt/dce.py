@@ -1,0 +1,50 @@
+"""Dead code elimination over SSA form.
+
+Removes instructions whose results are unused and which have no side
+effects (stores, impure calls and terminators always stay).  Iterates
+because removing one use can kill the instruction feeding it.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.builder import FrameAddr
+from ..ir.cfg import Function
+from ..ir.instructions import (
+    Assign, BinOp, Call, Load, Phi, UnOp,
+)
+from ..ir.values import Temp
+
+_REMOVABLE = (Assign, BinOp, UnOp, Load, Phi, FrameAddr)
+
+
+def dead_code_elimination(func: Function) -> int:
+    """Delete dead instructions; returns the number removed."""
+    removed = 0
+    while True:
+        used: Set[str] = set()
+        for block in func.blocks.values():
+            for instr in block.all_instrs():
+                for value in instr.uses():
+                    if isinstance(value, Temp):
+                        used.add(value.name)
+        round_removed = 0
+        for block in func.blocks.values():
+            kept = []
+            for instr in block.instrs:
+                dst = instr.defs()
+                removable = (
+                    dst is not None
+                    and dst.name not in used
+                    and (isinstance(instr, _REMOVABLE)
+                         or (isinstance(instr, Call) and instr.pure))
+                )
+                if removable:
+                    round_removed += 1
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        removed += round_removed
+        if round_removed == 0:
+            return removed

@@ -1,0 +1,97 @@
+"""The static optimization pipeline.
+
+Runs the standard global optimizations over an SSA-form function, in
+rounds, until nothing changes.  Used both before the region splitter
+(full-strength, as the paper runs Multiflow's optimizer) and -- with
+``post_split=True`` -- after setup/template extraction, where the only
+difference is that passes already honour hole barriers by construction
+(holes never fold, never propagate, and value-number only to themselves
+within the template subgraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..ir.cfg import Function
+from ..ir.ssa import eliminate_dead_phis
+from .copyprop import copy_propagation
+from .cse import common_subexpression_elimination
+from .dce import dead_code_elimination
+from .fold import fold_constants
+from .simplify import merge_blocks, simplify_algebraic, simplify_phis
+
+
+@dataclass
+class OptStats:
+    """Counts of rewrites applied by each pass, for reporting/tests."""
+
+    folds: int = 0
+    copies: int = 0
+    cse: int = 0
+    algebraic: int = 0
+    dead: int = 0
+    merged_blocks: int = 0
+    rounds: int = 0
+
+    def total(self) -> int:
+        return (self.folds + self.copies + self.cse + self.algebraic
+                + self.dead + self.merged_blocks)
+
+
+@dataclass
+class OptOptions:
+    """Pass toggles (used by ablation benchmarks)."""
+
+    fold: bool = True
+    copyprop: bool = True
+    cse: bool = True
+    algebraic: bool = True
+    dce: bool = True
+    merge: bool = True
+    max_rounds: int = 8
+
+
+def optimize(func: Function, options: OptOptions = OptOptions()) -> OptStats:
+    """Optimize an SSA-form function in place; returns pass statistics."""
+    stats = OptStats()
+    for _ in range(options.max_rounds):
+        round_changes = 0
+        if options.fold:
+            n = fold_constants(func)
+            stats.folds += n
+            round_changes += n
+        if options.algebraic:
+            n = simplify_algebraic(func)
+            stats.algebraic += n
+            round_changes += n
+        n = simplify_phis(func)
+        round_changes += n
+        if options.copyprop:
+            n = copy_propagation(func)
+            stats.copies += n
+            round_changes += n
+        if options.cse:
+            n = common_subexpression_elimination(func)
+            stats.cse += n
+            round_changes += n
+        if options.dce:
+            n = dead_code_elimination(func)
+            n += eliminate_dead_phis(func)
+            stats.dead += n
+            round_changes += n
+        if options.merge:
+            n = merge_blocks(func)
+            stats.merged_blocks += n
+            round_changes += n
+        stats.rounds += 1
+        if round_changes == 0:
+            break
+    func.verify()
+    return stats
+
+
+def optimize_module(module, options: OptOptions = OptOptions()) -> List[OptStats]:
+    """Optimize every function of an SSA-form module."""
+    return [optimize(func, options) for func in module.functions.values()]

@@ -1,0 +1,10 @@
+"""Execution: the engine (compile + run + measure) and the reference
+interpreter used as the semantic oracle."""
+
+from .engine import Program, RunResult, compile_ir_module, compile_program
+from .interp import Interpreter, InterpError, run_source
+
+__all__ = [
+    "Interpreter", "InterpError", "Program", "RunResult",
+    "compile_ir_module", "compile_program", "run_source",
+]

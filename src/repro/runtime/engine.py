@@ -1,0 +1,269 @@
+"""The execution engine: compile MiniC, run it on the RVM, measure.
+
+This is the library's main entry point.  :func:`compile_program`
+drives the full static pipeline (parse, check, lower to IR, SSA,
+optimize, split regions, register-allocate, generate code and
+templates); :class:`Program.run` executes the result on a fresh VM with
+the dynamic-compilation runtime installed (keyed code cache, stitcher
+hooks) and returns cycle accounting per component -- everything the
+Table 2 harness needs.
+
+Modes:
+
+* ``"dynamic"`` -- the paper's system: regions split, templates
+  stitched on first entry.
+* ``"static"``  -- the baseline: annotations ignored, regions compiled
+  as ordinary code (cycles still attributed per region for the
+  comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..codegen.lower import DataLayout, lower_module
+from ..codegen.objects import CompiledFunction, RegionCode
+from ..dynamic.splitter import RegionPlan, split_module
+from ..dynamic.stitcher import StitchReport, stitch_region
+from ..frontend.parser import parse
+from ..frontend.typecheck import check
+from ..ir.builder import build_module
+from ..ir.cfg import Module
+from ..ir.ssa import from_ssa, to_ssa
+from ..machine.costs import StitcherCosts
+from ..machine.isa import ARG_BASE, CPOOL, MInstr
+from ..machine.loader import load_program
+from ..machine.vm import VM, VMError
+from ..opt.pipeline import OptOptions, OptStats, optimize
+
+Number = Union[int, float]
+
+
+@dataclass
+class RunResult:
+    """Outcome and measurements of one program execution."""
+
+    value: int
+    float_value: float
+    output: List[Number]
+    cycles: int
+    cycles_by_owner: Dict[str, int]
+    instrs_by_owner: Dict[str, int]
+    stitch_reports: List[StitchReport] = field(default_factory=list)
+    #: executed-instruction histogram by opcode.
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+    def owner_cycles(self, prefix: str) -> int:
+        """Total cycles across owners starting with ``prefix``."""
+        return sum(c for owner, c in self.cycles_by_owner.items()
+                   if owner.startswith(prefix))
+
+    def region_cycles(self, func: str, region_id: int,
+                      mode: str) -> Dict[str, int]:
+        """Cycle breakdown for one region.
+
+        For dynamic mode: ``stitched`` (executions of compiled code),
+        ``setup`` (set-up code), ``stitcher`` (dynamic compile),
+        ``dispatch`` (lookup/enter glue).  For static mode: ``region``.
+        """
+        suffix = "%s:%d" % (func, region_id)
+        if mode == "static":
+            return {"region": self.cycles_by_owner.get(
+                "region:" + suffix, 0)}
+        return {
+            "stitched": self.cycles_by_owner.get("stitched:" + suffix, 0),
+            "setup": self.cycles_by_owner.get("setup:" + suffix, 0),
+            "stitcher": self.cycles_by_owner.get("stitcher:" + suffix, 0),
+            "dispatch": self.cycles_by_owner.get("dispatch:" + suffix, 0),
+        }
+
+
+class Program:
+    """A compiled MiniC program, ready to run on fresh VMs."""
+
+    def __init__(self, compiled: Dict[str, CompiledFunction],
+                 layout: DataLayout, mode: str,
+                 plans: List[RegionPlan],
+                 stitcher_costs: StitcherCosts,
+                 opt_stats: Optional[Dict[str, OptStats]] = None,
+                 register_actions: bool = False):
+        self.compiled = compiled
+        self.layout = layout
+        self.mode = mode
+        self.plans = plans
+        self.stitcher_costs = stitcher_costs
+        self.opt_stats = opt_stats or {}
+        self.register_actions = register_actions
+
+    # -- introspection ------------------------------------------------------
+
+    def region_codes(self) -> List[RegionCode]:
+        return [region for function in self.compiled.values()
+                for region in function.regions]
+
+    def template_size(self, func: str, region_id: int) -> int:
+        """Template instructions for a region (static code-space cost)."""
+        for function in self.compiled.values():
+            for region in function.regions:
+                if function.name == func and region.region_id == region_id:
+                    return sum(len(b.instrs) for b in region.blocks.values())
+        raise KeyError("no region %d in %s" % (region_id, func))
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, func: str = "main", args: Optional[List[Number]] = None,
+            max_cycles: int = 4_000_000_000,
+            memory_words: int = 1 << 22) -> RunResult:
+        vm = VM(memory_words=memory_words, max_cycles=max_cycles)
+        self.layout.write_into(vm)
+        load_program(vm, self.compiled)
+        runtime = _RegionRuntime(self, vm)
+        vm.rt_handlers["region_lookup"] = runtime.lookup
+        vm.rt_handlers["region_stitch"] = runtime.stitch
+        entry_fn = self.compiled.get(func)
+        if entry_fn is None:
+            raise VMError("no function named %s" % func)
+        preload: List[Tuple[int, Number]] = []
+        for i, arg in enumerate(args or []):
+            preload.append((ARG_BASE + i, arg))
+        int_result, float_result = vm.run(entry_fn.base, preload)
+        return RunResult(
+            value=int_result,
+            float_value=float_result,
+            output=vm.output,
+            cycles=vm.cycles,
+            cycles_by_owner=dict(vm.cycles_by_owner),
+            instrs_by_owner=dict(vm.instrs_by_owner),
+            stitch_reports=runtime.reports,
+            op_counts=dict(vm.op_counts),
+        )
+
+
+class _RegionRuntime:
+    """Keyed code cache + stitcher hooks for one VM execution."""
+
+    def __init__(self, program: Program, vm: VM):
+        self.program = program
+        self.vm = vm
+        #: (func, region_id, key tuple) -> (entry, pool base).
+        self.cache: Dict[Tuple[str, int, Tuple[Number, ...]],
+                         Tuple[int, int]] = {}
+        self.reports: List[StitchReport] = []
+        self._regions: Dict[Tuple[str, int], RegionCode] = {}
+        for function in program.compiled.values():
+            for region in function.regions:
+                self._regions[(function.name, region.region_id)] = region
+
+    def _key(self, region: RegionCode) -> Tuple[Number, ...]:
+        regs = self.vm.regs
+        return tuple(regs[ARG_BASE + i] for i in range(region.key_count))
+
+    def lookup(self, vm: VM, instr: MInstr) -> int:
+        func, region_id = instr.extra  # type: ignore[misc]
+        region = self._regions[(func, region_id)]
+        cached = self.cache.get((func, region_id, self._key(region)))
+        if cached is None:
+            return 0
+        entry, pool_base = cached
+        vm.regs[CPOOL] = pool_base
+        return entry
+
+    def stitch(self, vm: VM, instr: MInstr) -> int:
+        func, region_id = instr.extra  # type: ignore[misc]
+        region = self._regions[(func, region_id)]
+        table_addr = int(vm.regs[ARG_BASE])
+        key = tuple(vm.regs[ARG_BASE + 1 + i]
+                    for i in range(region.key_count))
+        report = stitch_region(vm, self.program.compiled[func], region,
+                               table_addr, self.program.stitcher_costs,
+                               key=key,
+                               register_actions=self.program.register_actions,
+                               functions=self.program.compiled)
+        self.reports.append(report)
+        self.cache[(func, region_id, key)] = (report.entry, report.pool_base)
+        vm.regs[CPOOL] = report.pool_base
+        return report.entry
+
+
+def compile_program(source: str, mode: str = "dynamic",
+                    opt_options: Optional[OptOptions] = None,
+                    use_reachability: bool = True,
+                    stitcher_costs: Optional[StitcherCosts] = None,
+                    register_actions: bool = False,
+                    module_name: str = "program") -> Program:
+    """Compile MiniC source through the full static pipeline.
+
+    ``mode`` is ``"dynamic"`` (regions split + stitched at run time) or
+    ``"static"`` (annotations ignored -- the paper's baseline).
+    ``register_actions`` enables the section 5 extension: the stitcher
+    promotes constant-index frame-array elements to unused registers.
+    """
+    if mode not in ("dynamic", "static"):
+        raise ValueError("mode must be 'dynamic' or 'static'")
+    module = build_module(check(parse(source)), name=module_name)
+    return compile_ir_module(module, mode=mode, opt_options=opt_options,
+                             use_reachability=use_reachability,
+                             stitcher_costs=stitcher_costs,
+                             register_actions=register_actions)
+
+
+def _refresh_plan_membership(func, plans: List[RegionPlan],
+                             split_records: List[tuple]) -> None:
+    """Fold critical-edge blocks created by ``from_ssa`` back into the
+    region plans: a block splitting a template->template edge is
+    template code (it carries phi copies, possibly with holes); one
+    splitting a setup->setup edge is set-up code.  Unrolled-loop body
+    lists in the table plan are refreshed from the (already updated)
+    region metadata."""
+    for plan in plans:
+        plan.template_blocks = set(
+            name for name in plan.region.blocks if name in func.blocks)
+        for new, pred, succ in split_records:
+            if pred in plan.setup_blocks and succ in plan.setup_blocks:
+                plan.setup_blocks.add(new)
+        loops_by_id = {loop.loop_id: loop
+                       for loop in plan.region.unrolled_loops}
+        for loop_plan in plan.table.loops.values():
+            info = loops_by_id.get(loop_plan.loop_id)
+            if info is not None:
+                loop_plan.body = sorted(info.body)
+            # A critical-edge block leading into the loop's extended
+            # body must keep the iteration environment alive too.
+            extended = set(loop_plan.extended_body)
+            for new, _pred, succ in split_records:
+                if succ in extended:
+                    extended.add(new)
+            loop_plan.extended_body = sorted(extended)
+
+
+def compile_ir_module(module: Module, mode: str = "dynamic",
+                      opt_options: Optional[OptOptions] = None,
+                      use_reachability: bool = True,
+                      stitcher_costs: Optional[StitcherCosts] = None,
+                      register_actions: bool = False) -> Program:
+    """Compile an already-built IR module (for IR-level tests)."""
+    opt_options = opt_options or OptOptions()
+    stats: Dict[str, OptStats] = {}
+    for func in module.functions.values():
+        to_ssa(func)
+        stats[func.name] = optimize(func, opt_options)
+    plans: List[RegionPlan] = []
+    if mode == "dynamic":
+        plans = split_module(module, use_reachability=use_reachability)
+    plans_by_func: Dict[str, List[RegionPlan]] = {}
+    for plan in plans:
+        plans_by_func.setdefault(plan.func_name, []).append(plan)
+    for func in module.functions.values():
+        split_records = from_ssa(func)
+        func.verify()
+        _refresh_plan_membership(func, plans_by_func.get(func.name, []),
+                                 split_records)
+    layout = DataLayout()
+    layout.add_module_globals(module)
+    compiled = lower_module(
+        module, layout, plans_by_func,
+        reserve_action_regs=8 if register_actions else 0)
+    return Program(compiled, layout, mode, plans,
+                   stitcher_costs or StitcherCosts(), stats,
+                   register_actions=register_actions)

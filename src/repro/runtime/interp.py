@@ -1,0 +1,301 @@
+"""Reference interpreter for IR modules.
+
+Executes a :class:`~repro.ir.cfg.Module` directly at the three-address
+level, ignoring all dynamic-compilation annotations (a dynamic region's
+blocks are just executed).  It is the semantic oracle for differential
+tests: MiniC source run through the interpreter must produce the same
+results as statically compiled RVM code and as dynamically compiled
+(stitched) RVM code.
+
+Handles both pre-SSA and SSA-form functions (phi instructions are
+evaluated from the incoming edge, with the textbook parallel-copy
+semantics within a block).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..dynamic.regionops import RegionEnter, RegionLookup, RegionStitch
+from ..ir.builder import FrameAddr
+from ..ir.cfg import Function, Module
+from ..ir.instructions import (
+    Assign, BinOp, Call, CondBr, Jump, Load, Phi, Return, Store, Switch,
+    UnOp,
+)
+from ..ir.semantics import PURE_BUILTINS, eval_binop, eval_unop
+from ..ir.values import (
+    FloatConst, GlobalAddr, HoleRef, IntConst, Temp, Value,
+)
+
+Number = Union[int, float]
+
+
+class InterpError(Exception):
+    """Raised on invalid IR behaviour (wild address, missing value...)."""
+
+
+class _RegionCtx:
+    """Per-activation dynamic-region state for post-split execution."""
+
+    __slots__ = ("region_tables", "loop_recs", "current_region")
+
+    def __init__(self) -> None:
+        #: region_id -> constants-table address.
+        self.region_tables: Dict[int, int] = {}
+        #: unrolled loop id -> current iteration record address.
+        self.loop_recs: Dict[int, int] = {}
+        self.current_region: Optional[int] = None
+
+
+class Interpreter:
+    """Evaluates IR functions over a flat word-addressed memory."""
+
+    #: Default sizes, in words.
+    HEAP_BASE = 0x10000
+    STACK_BASE = 0x100000
+
+    def __init__(self, module: Module, memory_words: int = 1 << 21,
+                 max_steps: int = 50_000_000, plans=None):
+        """``plans`` (a list of :class:`~repro.dynamic.splitter
+        .RegionPlan`) enables executing *post-split* IR: region
+        lookups always miss, so set-up code re-runs on every entry and
+        template holes are read back from the constants table it filled
+        -- semantically what stitched code computes, without any code
+        generation.  Used for differential testing of the splitter."""
+        self.module = module
+        self._plans = {}
+        for plan in plans or []:
+            self._plans[(plan.func_name, plan.region_id)] = plan
+        self.memory: List[Number] = [0] * memory_words
+        self.output: List[Number] = []
+        self.max_steps = max_steps
+        self._steps = 0
+        self._heap_next = self.HEAP_BASE
+        self._stack_top = self.STACK_BASE
+        self.global_addrs: Dict[str, int] = {}
+        next_addr = 0x1000
+        for data in module.globals.values():
+            self.global_addrs[data.name] = next_addr
+            for i, value in enumerate(data.values):
+                self.memory[next_addr + i] = value
+            next_addr += max(1, len(data.values))
+
+    # -- memory -----------------------------------------------------------
+
+    def load(self, addr: int) -> Number:
+        if not 0 <= addr < len(self.memory):
+            raise InterpError("load from wild address %#x" % addr)
+        return self.memory[addr]
+
+    def store(self, addr: int, value: Number) -> None:
+        if not 0 <= addr < len(self.memory):
+            raise InterpError("store to wild address %#x" % addr)
+        self.memory[addr] = value
+
+    def alloc(self, words: int) -> int:
+        addr = self._heap_next
+        self._heap_next += max(1, words)
+        if self._heap_next >= self.STACK_BASE:
+            raise InterpError("interpreter heap exhausted")
+        return addr
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, func_name: str = "main",
+            args: Optional[List[Number]] = None) -> Optional[Number]:
+        """Execute ``func_name``; returns its return value."""
+        func = self.module.functions.get(func_name)
+        if func is None:
+            raise InterpError("no function named %s" % func_name)
+        return self._call(func, args or [])
+
+    def _call(self, func: Function, args: List[Number]) -> Optional[Number]:
+        if len(args) != len(func.params):
+            raise InterpError(
+                "%s expects %d args, got %d"
+                % (func.name, len(func.params), len(args)))
+        frame_base = self._stack_top
+        self._stack_top += func.frame_size
+        if self._stack_top >= len(self.memory):
+            raise InterpError("interpreter stack exhausted")
+        env: Dict[str, Number] = {}
+        for param, value in zip(func.params, args):
+            env[param.name] = value
+        try:
+            return self._run_function(func, env, frame_base)
+        finally:
+            self._stack_top = frame_base
+
+    def _value(self, env: Dict[str, Number], value: Value,
+               ctx: "Optional[_RegionCtx]" = None) -> Number:
+        if isinstance(value, Temp):
+            if value.name not in env:
+                raise InterpError("use of undefined temp %s" % value.name)
+            return env[value.name]
+        if isinstance(value, IntConst):
+            return value.value
+        if isinstance(value, FloatConst):
+            return value.value
+        if isinstance(value, GlobalAddr):
+            if value.name in self.global_addrs:
+                return self.global_addrs[value.name]
+            raise InterpError("unknown global %s" % value.name)
+        if isinstance(value, HoleRef):
+            if ctx is None or ctx.current_region is None:
+                raise InterpError("hole %r outside region context" % (value,))
+            if value.loop_id is None:
+                table = ctx.region_tables[ctx.current_region]
+                return self.load(table + value.index)
+            return self.load(ctx.loop_recs[value.loop_id] + value.index)
+        raise InterpError("cannot evaluate operand %r" % (value,))
+
+    def _run_function(self, func: Function, env: Dict[str, Number],
+                      frame_base: int) -> Optional[Number]:
+        block_name = func.entry
+        prev_block: Optional[str] = None
+        ctx = _RegionCtx()
+        # Template-loop bookkeeping: header block -> (plan, loop plan).
+        headers = {}
+        for region in func.regions:
+            plan = self._plans.get((func.name, region.region_id))
+            if plan is None:
+                continue
+            for loop in plan.table.loops.values():
+                headers[loop.header] = (plan, loop)
+        while True:
+            if block_name in headers:
+                plan, loop = headers[block_name]
+                if prev_block == loop.latch:
+                    ctx.loop_recs[loop.loop_id] = int(
+                        self.load(ctx.loop_recs[loop.loop_id]
+                                  + loop.next_offset))
+                else:
+                    if loop.parent is None:
+                        head = (ctx.region_tables[plan.region_id]
+                                + loop.head_slot)
+                    else:
+                        head = ctx.loop_recs[loop.parent] + loop.head_slot
+                    ctx.loop_recs[loop.loop_id] = int(self.load(head))
+            block = func.blocks[block_name]
+            # Phi functions evaluate in parallel from the incoming edge.
+            phis = block.phis()
+            if phis:
+                if prev_block is None:
+                    raise InterpError("phi in entry block %s" % block_name)
+                incoming: List[Tuple[str, Number]] = []
+                for phi in phis:
+                    if prev_block not in phi.args:
+                        raise InterpError(
+                            "phi %r missing edge from %s" % (phi, prev_block))
+                    incoming.append(
+                        (phi.dst.name,
+                         self._value(env, phi.args[prev_block], ctx)))
+                for name, value in incoming:
+                    env[name] = value
+            for instr in block.instrs[len(phis):]:
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise InterpError("interpreter step limit exceeded")
+                self._exec(func, env, frame_base, instr, ctx)
+            term = block.terminator
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise InterpError("interpreter step limit exceeded")
+            if isinstance(term, Return):
+                if term.value is None:
+                    return None
+                return self._value(env, term.value, ctx)
+            prev_block = block_name
+            if isinstance(term, Jump):
+                block_name = term.target
+            elif isinstance(term, CondBr):
+                cond = self._value(env, term.cond, ctx)
+                block_name = term.if_true if cond != 0 else term.if_false
+            elif isinstance(term, Switch):
+                selector = int(self._value(env, term.value, ctx))
+                block_name = term.default
+                for case_value, label in term.cases:
+                    if case_value == selector:
+                        block_name = label
+                        break
+            elif isinstance(term, RegionEnter):
+                ctx.current_region = term.region_id
+                block_name = term.template_entry
+            else:
+                raise InterpError("unknown terminator %r" % term)
+
+    def _exec(self, func: Function, env: Dict[str, Number],
+              frame_base: int, instr: object,
+              ctx: "Optional[_RegionCtx]" = None) -> None:
+        if isinstance(instr, Assign):
+            env[instr.dst.name] = self._value(env, instr.src, ctx)
+        elif isinstance(instr, BinOp):
+            lhs = self._value(env, instr.lhs, ctx)
+            rhs = self._value(env, instr.rhs, ctx)
+            env[instr.dst.name] = eval_binop(instr.op, lhs, rhs)
+        elif isinstance(instr, UnOp):
+            env[instr.dst.name] = eval_unop(instr.op,
+                                            self._value(env, instr.src, ctx))
+        elif isinstance(instr, Load):
+            addr = int(self._value(env, instr.addr, ctx))
+            env[instr.dst.name] = self.load(addr)
+        elif isinstance(instr, Store):
+            addr = int(self._value(env, instr.addr, ctx))
+            self.store(addr, self._value(env, instr.src, ctx))
+        elif isinstance(instr, FrameAddr):
+            env[instr.dst.name] = frame_base + instr.offset
+        elif isinstance(instr, RegionLookup):
+            # The reference interpreter never caches compiled code, so
+            # set-up re-runs on each entry (semantically equivalent).
+            env[instr.dst.name] = 0
+        elif isinstance(instr, RegionStitch):
+            assert ctx is not None
+            ctx.region_tables[instr.region_id] = int(
+                self._value(env, instr.table, ctx))
+            env[instr.dst.name] = 1
+        elif isinstance(instr, Call):
+            result = self._do_call(instr, env, ctx)
+            if instr.dst is not None:
+                env[instr.dst.name] = 0 if result is None else result
+        elif isinstance(instr, Phi):
+            raise InterpError("phi outside block prefix")
+        else:
+            raise InterpError("unknown instruction %r" % instr)
+
+    def _do_call(self, instr: Call, env: Dict[str, Number],
+                 ctx: "Optional[_RegionCtx]" = None) -> Optional[Number]:
+        args = [self._value(env, a, ctx) for a in instr.args]
+        if instr.intrinsic:
+            if instr.callee in PURE_BUILTINS:
+                return PURE_BUILTINS[instr.callee](*args)
+            if instr.callee == "alloc":
+                return self.alloc(int(args[0]))
+            if instr.callee == "print_int":
+                self.output.append(int(args[0]))
+                return None
+            if instr.callee == "print_float":
+                self.output.append(float(args[0]))
+                return None
+            raise InterpError("unknown intrinsic %s" % instr.callee)
+        callee = self.module.functions.get(instr.callee)
+        if callee is None:
+            raise InterpError("call to unknown function %s" % instr.callee)
+        return self._call(callee, args)
+
+
+def run_source(source: str, func: str = "main",
+               args: Optional[List[Number]] = None
+               ) -> Tuple[Optional[Number], List[Number]]:
+    """Convenience: parse, check, build and interpret MiniC source.
+
+    Returns ``(return value, printed output)``.
+    """
+    from ..frontend.parser import parse
+    from ..frontend.typecheck import check
+    from ..ir.builder import build_module
+
+    module = build_module(check(parse(source)))
+    interp = Interpreter(module)
+    result = interp.run(func, args)
+    return result, interp.output

@@ -1,0 +1,111 @@
+"""Stitched code is shared across activations of its function.
+
+The paper's templates are optimized "in the context of their enclosing
+procedure"; the compiled region code is entered from *any* activation.
+These tests pin the consequences: frame-relative values must be read
+through the current frame (never baked in), and recursive functions
+can re-enter their own stitched code at different depths.
+"""
+
+from repro import compile_program
+
+from helpers import run_all_ways
+
+RECURSIVE_REGION = """
+int walk(int c, int depth) {
+    int local[2];
+    local[0] = depth * 10;
+    local[1] = depth;
+    int r = 0;
+    dynamicRegion (c) {
+        r = local[0] * c + local[1];
+    }
+    if (depth == 0) return r;
+    return r + walk(c, depth - 1);
+}
+
+int main() { return walk(3, 4); }
+"""
+
+
+def reference(c, depth):
+    total = 0
+    for d in range(depth, -1, -1):
+        total += (d * 10) * c + d
+    return total
+
+
+def test_region_inside_recursive_function():
+    run_all_ways(RECURSIVE_REGION)
+    program = compile_program(RECURSIVE_REGION, mode="dynamic")
+    result = program.run()
+    assert result.value == reference(3, 4)
+    # stitched once, entered five times at five different frames
+    assert len(result.stitch_reports) == 1
+
+
+def test_region_reads_current_frame_not_first_frame():
+    # If stitched code captured the *first* activation's frame address,
+    # the second call (different local values) would see stale data.
+    source = """
+    int f(int c, int seed) {
+        int buffer[1];
+        buffer[0] = seed;
+        int r = 0;
+        dynamicRegion (c) {
+            r = buffer[0] + c;
+        }
+        return r;
+    }
+    int main() { return f(100, 1) * 1000 + f(100, 7); }
+    """
+    result = compile_program(source, mode="dynamic").run()
+    assert result.value == 101 * 1000 + 107
+
+
+def test_mutual_recursion_through_region():
+    run_all_ways("""
+        int pong(int c, int n);
+        int ping(int c, int n) {
+            int r = 0;
+            dynamicRegion (c) { r = c * 2; }
+            if (n == 0) return r;
+            return r + pong(c, n - 1);
+        }
+        int pong(int c, int n) {
+            return ping(c, n) + 1;
+        }
+        int main() { return ping(5, 3); }
+    """)
+
+
+def test_region_function_called_from_stitched_code():
+    # A region's template calls a function that itself has a region.
+    run_all_ways("""
+        int inner(int k, int v) {
+            dynamicRegion (k) { return v * k; }
+        }
+        int outer(int c, int v) {
+            dynamicRegion (c) {
+                int base = c + 1;
+                return inner(4, v) + base;
+            }
+        }
+        int main() { return outer(9, 2) + outer(9, 3); }
+    """)
+
+
+def test_negative_and_zero_keys():
+    source = """
+    int f(int k, int v) {
+        dynamicRegion key(k) (k) { return v * k + 1; }
+    }
+    int main() {
+        return f(0 - 3, 2) * 10000 + f(0, 5) * 100 + f(3, 2);
+    }
+    """
+    run_all_ways(source)
+    result = compile_program(source, mode="dynamic").run()
+    assert len(result.stitch_reports) == 3
+    assert sorted(r.key for r in result.stitch_reports) == \
+        [(-3,), (0,), (3,)]

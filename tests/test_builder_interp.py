@@ -1,0 +1,378 @@
+"""Language-semantics tests: MiniC through the builder + interpreter.
+
+These pin down the meaning of MiniC programs; the compiled-code tests
+reuse the same programs and compare against these results.
+"""
+
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.runtime.interp import InterpError
+
+from helpers import build, interp_run
+
+
+def run(source, func="main", args=None):
+    return interp_run(source, func, args)[0]
+
+
+# -- arithmetic & expressions ----------------------------------------------
+
+
+def test_arithmetic():
+    assert run("int main() { return 2 + 3 * 4 - 1; }") == 13
+
+
+def test_division_and_modulo():
+    assert run("int main() { return 17 / 5 * 10 + 17 % 5; }") == 32
+
+
+def test_negative_division():
+    assert run("int main() { return (0-17) / 5; }") == -3
+
+
+def test_unsigned_operations():
+    src = "int main() { uint x = 0 - 1; return (int)(x >> 60); }"
+    assert run(src) == 15
+
+
+def test_signed_shift():
+    assert run("int main() { int x = 0 - 16; return x >> 2; }") == -4
+
+
+def test_bitwise_ops():
+    assert run("int main() { return (12 & 10) | (12 ^ 10); }") == 14
+
+
+def test_comparisons():
+    assert run("int main() { return (1 < 2) + (2 <= 2) + (3 > 4) + (5 >= 5)"
+               " + (1 == 1) + (1 != 1); }") == 4
+
+
+def test_logical_short_circuit():
+    src = """
+    int g;
+    int bump() { g = g + 1; return 0; }
+    int main() {
+        int r = bump() && bump();
+        return g * 10 + r;
+    }
+    """
+    assert run(src) == 10  # second bump not evaluated
+
+
+def test_logical_or_value():
+    assert run("int main() { return (0 || 7) + (3 && 0); }") == 1
+
+
+def test_ternary():
+    assert run("int main() { int x = 5; return x > 3 ? 10 : 20; }") == 10
+
+
+def test_post_increment_value():
+    assert run("int main() { int i = 5; int j = i++; return i * 10 + j; }") \
+        == 65
+
+
+def test_compound_assignment():
+    assert run("int main() { int x = 10; x += 5; x *= 2; x -= 3; x /= 2;"
+               " return x; }") == 13
+
+
+def test_float_arithmetic():
+    value, output = interp_run(
+        "int main() { float f = 1.5; f = f * 4.0 + 1.0; print_float(f);"
+        " return 0; }")
+    assert output == [7.0]
+
+
+def test_int_float_promotion():
+    value, output = interp_run(
+        "int main() { float f = 3; print_float(f / 2); return 0; }")
+    assert output == [1.5]
+
+
+def test_float_to_int_cast_truncates():
+    assert run("int main() { return (int) 3.9; }") == 3
+
+
+def test_sizeof():
+    src = """
+    struct Pair { int a; float b; };
+    int main() { return sizeof(Pair) * 100 + sizeof(int*) * 10
+                        + sizeof(float); }
+    """
+    assert run(src) == 211
+
+
+# -- control flow ---------------------------------------------------------------
+
+
+def test_while_loop():
+    assert run("int main() { int i = 0; int t = 0;"
+               " while (i < 5) { t += i; i++; } return t; }") == 10
+
+
+def test_do_while_runs_once():
+    assert run("int main() { int t = 0; do t = 9; while (0); return t; }") == 9
+
+
+def test_for_break_continue():
+    src = """
+    int main() {
+        int t = 0; int i;
+        for (i = 0; i < 100; i++) {
+            if (i % 2 == 0) continue;
+            if (i > 10) break;
+            t += i;
+        }
+        return t;
+    }
+    """
+    assert run(src) == 1 + 3 + 5 + 7 + 9
+
+
+def test_nested_loops():
+    src = """
+    int main() {
+        int t = 0; int i; int j;
+        for (i = 0; i < 4; i++)
+            for (j = 0; j < 4; j++)
+                if (j > i) t += 1;
+        return t;
+    }
+    """
+    assert run(src) == 6
+
+
+def test_switch_fallthrough():
+    src = """
+    int classify(int x) {
+        int r = 0;
+        switch (x) {
+            case 1: r += 1;
+            case 2: r += 2; break;
+            case 5: r = 50; break;
+            default: r = 99;
+        }
+        return r;
+    }
+    int main() {
+        return classify(1) * 1000 + classify(2) * 100
+             + classify(5) + classify(7) / 9;
+    }
+    """
+    # classify(1)=3, classify(2)=2, classify(5)=50, classify(7)=99
+    assert run(src) == 3000 + 200 + 50 + 11
+
+
+def test_goto_forward_and_backward():
+    src = """
+    int main() {
+        int i = 0; int t = 0;
+    top:
+        t += i;
+        i++;
+        if (i < 4) goto top;
+        goto done;
+        t = 999;
+    done:
+        return t;
+    }
+    """
+    assert run(src) == 6
+
+
+def test_unstructured_loop_exit():
+    src = """
+    int main() {
+        int i; int j; int found = 0;
+        for (i = 0; i < 10; i++) {
+            for (j = 0; j < 10; j++) {
+                if (i * j == 42) goto out;
+            }
+        }
+    out:
+        return i * 100 + j;
+    }
+    """
+    assert run(src) == 607  # 6*7 == 42
+
+
+# -- functions --------------------------------------------------------------------
+
+
+def test_recursion():
+    src = """
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { return fib(12); }
+    """
+    assert run(src) == 144
+
+
+def test_mutual_recursion():
+    src = """
+    int is_odd(int n);
+    int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+    int main() { return is_even(10) * 10 + is_odd(7); }
+    """
+    assert run(src) == 11
+
+
+def test_arguments_passed_by_value():
+    src = """
+    int twiddle(int x) { x = 999; return x; }
+    int main() { int x = 5; twiddle(x); return x; }
+    """
+    assert run(src) == 5
+
+
+def test_float_function():
+    src = """
+    float avg(float a, float b) { return (a + b) / 2.0; }
+    int main() { print_float(avg(1.0, 4.0)); return 0; }
+    """
+    assert interp_run(src)[1] == [2.5]
+
+
+def test_builtins():
+    src = """
+    int main() {
+        print_int(imax(3, 7));
+        print_int(imin(3, 7));
+        print_int(iabs(0 - 9));
+        print_float(fsqrt(16.0));
+        return 0;
+    }
+    """
+    assert interp_run(src)[1] == [7, 3, 9, 4.0]
+
+
+# -- memory -----------------------------------------------------------------------
+
+
+def test_local_array():
+    src = """
+    int main() {
+        int a[5]; int i; int t = 0;
+        for (i = 0; i < 5; i++) a[i] = i * i;
+        for (i = 0; i < 5; i++) t += a[i];
+        return t;
+    }
+    """
+    assert run(src) == 30
+
+
+def test_pointer_walk():
+    src = """
+    int main() {
+        int a[4];
+        a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+        int *p = a;
+        int t = 0;
+        while (p < a + 4) { t += *p; p++; }
+        return t;
+    }
+    """
+    assert run(src) == 10
+
+
+def test_address_of_local():
+    src = """
+    void set(int *p) { *p = 42; }
+    int main() { int x = 0; set(&x); return x; }
+    """
+    assert run(src) == 42
+
+
+def test_struct_on_heap():
+    src = """
+    struct Node { int value; Node *next; };
+    int main() {
+        Node *head = 0;
+        int i;
+        for (i = 1; i <= 4; i++) {
+            Node *n = (Node*) alloc(sizeof(Node));
+            n->value = i;
+            n->next = head;
+            head = n;
+        }
+        int t = 0;
+        Node *p = head;
+        while (p != 0) { t = t * 10 + p->value; p = p->next; }
+        return t;
+    }
+    """
+    assert run(src) == 4321
+
+
+def test_nested_struct_field():
+    src = """
+    struct Inner { int x; int y; };
+    struct Outer { int pad; Inner inner; };
+    int main() {
+        Outer o;
+        o.inner.x = 3;
+        o.inner.y = 4;
+        return o.inner.x * 10 + o.inner.y;
+    }
+    """
+    assert run(src) == 34
+
+
+def test_global_variables():
+    src = """
+    int counter = 10;
+    float ratio = 2.5;
+    int bump() { counter = counter + 1; return counter; }
+    int main() { bump(); bump(); print_float(ratio); return counter; }
+    """
+    value, output = interp_run(src)
+    assert value == 12
+    assert output == [2.5]
+
+
+def test_global_array():
+    src = """
+    int table[10];
+    int main() {
+        int i;
+        for (i = 0; i < 10; i++) table[i] = i;
+        return table[3] + table[7];
+    }
+    """
+    assert run(src) == 10
+
+
+def test_matrix_via_pointers():
+    src = """
+    int main() {
+        int m[12];  // 3x4 matrix
+        int i; int j;
+        for (i = 0; i < 3; i++)
+            for (j = 0; j < 4; j++)
+                m[i * 4 + j] = i * j;
+        int t = 0;
+        for (i = 0; i < 12; i++) t += m[i];
+        return t;
+    }
+    """
+    assert run(src) == 18
+
+
+# -- error behaviour ------------------------------------------------------------------
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(Exception):
+        run("int main() { int z = 0; return 1 / z; }")
+
+
+def test_wild_load_raises():
+    with pytest.raises(InterpError):
+        run("int main() { int *p = (int*)(0 - 5); return *p; }")
+
+
+def test_return_default_when_falling_off():
+    assert run("int main() { int x = 5; x = x; }") == 0

@@ -1,0 +1,159 @@
+"""CFG structural tests."""
+
+import pytest
+
+from repro.ir.cfg import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    Assign, CondBr, Jump, Phi, Return, Switch,
+)
+from repro.ir.values import IntConst, Temp
+
+
+def diamond() -> Function:
+    func = Function("f", [])
+    entry = func.new_block("entry")
+    then = func.new_block("then")
+    other = func.new_block("else")
+    join = func.new_block("join")
+    entry.append(Assign(Temp("c"), IntConst(1)))
+    entry.append(CondBr(Temp("c"), then.name, other.name))
+    then.append(Jump(join.name))
+    other.append(Jump(join.name))
+    join.append(Return(IntConst(0)))
+    return func
+
+
+def test_entry_is_first_block():
+    func = diamond()
+    assert func.entry == "entry1"
+
+
+def test_successors_and_predecessors():
+    func = diamond()
+    preds = func.predecessors()
+    assert sorted(preds["join4"]) == ["else3", "then2"]
+    assert func.blocks["entry1"].successors() == ["then2", "else3"]
+
+
+def test_rpo_starts_at_entry():
+    func = diamond()
+    order = func.rpo()
+    assert order[0] == "entry1"
+    assert order[-1] == "join4"
+    assert len(order) == 4
+
+
+def test_rpo_ignores_unreachable():
+    func = diamond()
+    dead = func.new_block("dead")
+    dead.append(Jump("join4"))
+    assert "dead5" not in func.rpo()
+
+
+def test_remove_unreachable_blocks_fixes_phis():
+    func = diamond()
+    dead = func.new_block("dead")
+    dead.append(Jump("join4"))
+    func.blocks["join4"].instrs.insert(
+        0, Phi(Temp("x"), {"then2": IntConst(1), "else3": IntConst(2),
+                           "dead5": IntConst(3)}))
+    removed = func.remove_unreachable_blocks()
+    assert removed == ["dead5"]
+    phi = func.blocks["join4"].phis()[0]
+    assert set(phi.args) == {"then2", "else3"}
+    func.verify()
+
+
+def test_verify_rejects_missing_terminator():
+    func = Function("f", [])
+    func.new_block("entry")
+    with pytest.raises(ValueError):
+        func.verify()
+
+
+def test_verify_rejects_unknown_successor():
+    func = Function("f", [])
+    block = func.new_block("entry")
+    block.append(Jump("nowhere"))
+    with pytest.raises(ValueError):
+        func.verify()
+
+
+def test_verify_rejects_phi_after_non_phi():
+    func = diamond()
+    join = func.blocks["join4"]
+    join.instrs.append(Assign(Temp("y"), IntConst(0)))
+    join.instrs.append(Phi(Temp("x"), {"then2": IntConst(1),
+                                       "else3": IntConst(2)}))
+    with pytest.raises(ValueError):
+        func.verify()
+
+
+def test_verify_rejects_phi_pred_mismatch():
+    func = diamond()
+    func.blocks["join4"].instrs.insert(
+        0, Phi(Temp("x"), {"then2": IntConst(1)}))
+    with pytest.raises(ValueError):
+        func.verify()
+
+
+def test_append_after_terminator_rejected():
+    block = BasicBlock("b")
+    block.append(Return(None))
+    with pytest.raises(ValueError):
+        block.append(Assign(Temp("x"), IntConst(1)))
+
+
+def test_split_critical_edges():
+    func = Function("f", [])
+    entry = func.new_block("entry")
+    left = func.new_block("left")
+    join = func.new_block("join")
+    entry.append(CondBr(Temp("c"), left.name, join.name))  # critical
+    left.append(Jump(join.name))
+    join.instrs.insert(0, Phi(Temp("x"), {"entry1": IntConst(1),
+                                          "left2": IntConst(2)}))
+    join.append(Return(Temp("x")))
+    func.temp_types["c"] = "int"
+    records = func.split_critical_edges()
+    assert len(records) == 1
+    new, pred, succ = records[0]
+    assert pred == "entry1" and succ == "join3"
+    phi = func.blocks["join3"].phis()[0]
+    assert new in phi.args and "entry1" not in phi.args
+    func.verify()
+
+
+def test_switch_successors_deduplicated():
+    term = Switch(Temp("x"), [(1, "a"), (2, "a"), (3, "b")], "b")
+    assert term.successors() == ["a", "b"]
+
+
+def test_switch_replace_successor():
+    term = Switch(Temp("x"), [(1, "a"), (2, "b")], "a")
+    term.replace_successor("a", "c")
+    assert term.cases == [(1, "c"), (2, "b")]
+    assert term.default == "c"
+
+
+def test_new_temp_types():
+    func = Function("f", [])
+    t1 = func.new_temp("int")
+    t2 = func.new_temp("float")
+    assert func.type_of(t1) == "int"
+    assert func.type_of(t2) == "float"
+    assert t1.name != t2.name
+
+
+def test_module_duplicate_function_rejected():
+    module = Module()
+    module.add_function(Function("f", []))
+    with pytest.raises(ValueError):
+        module.add_function(Function("f", []))
+
+
+def test_iter_instrs_includes_terminators():
+    func = diamond()
+    ops = list(func.iter_instrs())
+    assert any(isinstance(i, Return) for i in ops)
+    assert any(isinstance(i, CondBr) for i in ops)

@@ -1,0 +1,108 @@
+"""Command-line interface tests (python -m repro)."""
+
+import subprocess
+import sys
+
+import pytest
+
+PROGRAM = """
+int f(int c, int v) {
+    dynamicRegion (c) {
+        return c * 6 + v;
+    }
+}
+int main(int x) {
+    int t = 0; int i;
+    for (i = 0; i < 4; i++) t += f(7, x + i);
+    print_int(t);
+    return t;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=120)
+
+
+def test_runs_dynamic_by_default(source_file):
+    proc = run_cli(source_file, "--args", "10")
+    assert proc.returncode == 0, proc.stderr
+    # 4 calls: 52,53,54,55 -> 214
+    assert "214" in proc.stdout
+    assert "cycles" in proc.stdout
+
+
+def test_static_mode(source_file):
+    proc = run_cli(source_file, "--mode", "static", "--args", "10")
+    assert proc.returncode == 0
+    assert "214" in proc.stdout
+
+
+def test_stats_output(source_file):
+    proc = run_cli(source_file, "--args", "0", "--stats")
+    assert proc.returncode == 0
+    assert "stitched:f:1" in proc.stdout
+    assert "optimizations:" in proc.stdout
+
+
+def test_dump_ir(source_file):
+    proc = run_cli(source_file, "--args", "0", "--dump-ir")
+    assert proc.returncode == 0
+    assert "func f(" in proc.stdout
+    assert "region 1" in proc.stdout
+
+
+def test_dump_asm(source_file):
+    proc = run_cli(source_file, "--args", "0", "--dump-asm")
+    assert proc.returncode == 0
+    assert "$epilogue:" in proc.stdout
+    assert "ret" in proc.stdout
+
+
+def test_dump_templates(source_file):
+    proc = run_cli(source_file, "--args", "0", "--dump-templates")
+    assert proc.returncode == 0
+    assert "region 1 of f" in proc.stdout
+    assert "HOLE" in proc.stdout
+
+
+def test_dump_directives(source_file):
+    proc = run_cli(source_file, "--args", "0", "--dump-directives")
+    assert proc.returncode == 0
+    assert "stitcher directives for region 1" in proc.stdout
+    assert "START(" in proc.stdout
+    assert "END(" in proc.stdout
+
+
+def test_register_actions_flag(source_file):
+    proc = run_cli(source_file, "--args", "10", "--register-actions")
+    assert proc.returncode == 0
+    assert "214" in proc.stdout
+
+
+def test_fused_stitcher_flag(source_file):
+    proc = run_cli(source_file, "--args", "10", "--fused-stitcher")
+    assert proc.returncode == 0
+    assert "214" in proc.stdout
+
+
+def test_compile_error_reported(tmp_path):
+    path = tmp_path / "bad.c"
+    path.write_text("int main() { return undeclared; }")
+    proc = run_cli(str(path))
+    assert proc.returncode == 1
+    assert "compile error" in proc.stderr
+
+
+def test_missing_file():
+    proc = run_cli("/nonexistent/path.c")
+    assert proc.returncode == 2

@@ -1,0 +1,222 @@
+"""Static code generation tests: compiled RVM code must agree with the
+reference interpreter on a zoo of programs."""
+
+import pytest
+
+from repro import compile_program
+
+from helpers import interp_run
+
+PROGRAMS = {
+    "arith": "int main() { return 2 + 3 * 4 - 20 / 4 + 17 % 5; }",
+    "unsigned": """
+        int main() {
+            uint x = 0 - 1;
+            return (int)(x >> 60) + (int)(x / 4 % 7);
+        }
+    """,
+    "big_constants": """
+        int main() {
+            int big = 123456789;
+            int huge = big * 100;
+            return huge / big;
+        }
+    """,
+    "loops": """
+        int main() {
+            int t = 0; int i; int j;
+            for (i = 0; i < 20; i++)
+                for (j = 0; j < i; j++)
+                    if ((i + j) % 3 == 0) t += i * j;
+            return t;
+        }
+    """,
+    "while_break": """
+        int main() {
+            int i = 0; int t = 0;
+            while (1) {
+                if (i >= 10) break;
+                if (i % 2) { i++; continue; }
+                t += i;
+                i++;
+            }
+            return t;
+        }
+    """,
+    "switch": """
+        int main() {
+            int t = 0; int i;
+            for (i = 0; i < 12; i++) {
+                switch (i % 4) {
+                    case 0: t += 1;
+                    case 1: t += 10; break;
+                    case 2: t += 100; break;
+                    default: t += 1000;
+                }
+            }
+            return t;
+        }
+    """,
+    "goto": """
+        int main() {
+            int i = 0; int t = 0;
+        again:
+            t += i * i;
+            i++;
+            if (i < 6) goto again;
+            return t;
+        }
+    """,
+    "recursion": """
+        int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+        int main() { return fact(10); }
+    """,
+    "mutual_recursion": """
+        int odd(int n);
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int main() { return even(20) * 2 + odd(13); }
+    """,
+    "many_locals_spill": """
+        int main() {
+            int a0 = 1; int a1 = 2; int a2 = 3; int a3 = 4; int a4 = 5;
+            int a5 = 6; int a6 = 7; int a7 = 8; int a8 = 9; int a9 = 10;
+            int b0 = a0*2; int b1 = a1*2; int b2 = a2*2; int b3 = a3*2;
+            int b4 = a4*2; int b5 = a5*2; int b6 = a6*2; int b7 = a7*2;
+            int b8 = a8*2; int b9 = a9*2;
+            int c0 = b0+a0; int c1 = b1+a1; int c2 = b2+a2; int c3 = b3+a3;
+            int c4 = b4+a4; int c5 = b5+a5; int c6 = b6+a6; int c7 = b7+a7;
+            int c8 = b8+a8; int c9 = b9+a9;
+            return a0+a1+a2+a3+a4+a5+a6+a7+a8+a9
+                 + b0+b1+b2+b3+b4+b5+b6+b7+b8+b9
+                 + c0+c1+c2+c3+c4+c5+c6+c7+c8+c9;
+        }
+    """,
+    "arrays": """
+        int main() {
+            int a[16]; int i; int t = 0;
+            for (i = 0; i < 16; i++) a[i] = 15 - i;
+            for (i = 0; i < 16; i++) t = t * 2 + a[i] % 2;
+            return t;
+        }
+    """,
+    "pointers": """
+        void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+        int main() {
+            int x = 3; int y = 9;
+            swap(&x, &y);
+            return x * 10 + y;
+        }
+    """,
+    "structs_heap": """
+        struct Node { int value; Node *next; };
+        int main() {
+            Node *head = 0; int i;
+            for (i = 1; i <= 5; i++) {
+                Node *n = (Node*) alloc(sizeof(Node));
+                n->value = i * i;
+                n->next = head;
+                head = n;
+            }
+            int t = 0;
+            Node *p;
+            unrolled_placeholder: ;
+            for (p = head; p != 0; p = p->next) t += p->value;
+            return t;
+        }
+    """,
+    "floats": """
+        float poly(float x) { return x * x * 2.0 + x * 3.0 + 1.0; }
+        int main() {
+            float t = 0.0; int i;
+            for (i = 0; i < 5; i++) t = t + poly((float) i);
+            print_float(t);
+            return (int) t;
+        }
+    """,
+    "float_compare": """
+        int main() {
+            float a = 1.5; float b = 2.5;
+            return (a < b) + (a >= b) * 10 + (a == a) * 100 + (a != b) * 1000;
+        }
+    """,
+    "globals": """
+        int counter;
+        int table[8];
+        float scale = 1.5;
+        void init() {
+            int i;
+            for (i = 0; i < 8; i++) table[i] = i * 3;
+        }
+        int main() {
+            init();
+            counter = table[5];
+            print_float(scale);
+            return counter + table[2];
+        }
+    """,
+    "builtins": """
+        int main() {
+            print_int(imax(8, 3));
+            print_int(iabs(0 - 4));
+            print_float(fsqrt(2.25));
+            print_float(fpow(2.0, 10.0));
+            return imin(9, 4);
+        }
+    """,
+    "output_order": """
+        int main() {
+            int i;
+            for (i = 0; i < 5; i++) print_int(i * i);
+            return 0;
+        }
+    """,
+    "ternary_chain": """
+        int grade(int s) {
+            return s > 90 ? 4 : s > 80 ? 3 : s > 70 ? 2 : s > 60 ? 1 : 0;
+        }
+        int main() {
+            return grade(95) * 10000 + grade(85) * 1000 + grade(75) * 100
+                 + grade(65) * 10 + grade(10);
+        }
+    """,
+    "negative_numbers": """
+        int main() {
+            int a = 0 - 7;
+            return a / 2 * 1000 + iabs(a % 2) * 100 + (a >> 1) + 200;
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_static_matches_interpreter(name):
+    source = PROGRAMS[name].replace("unrolled_placeholder: ;", "")
+    expected, expected_out = interp_run(source)
+    program = compile_program(source, mode="static")
+    result = program.run()
+    assert result.value == expected
+    assert result.output == expected_out
+
+
+def test_main_with_arguments():
+    source = "int main(int a, int b) { return a * 100 + b; }"
+    program = compile_program(source, mode="static")
+    assert program.run(args=[3, 7]).value == 307
+
+
+def test_cycles_are_positive_and_attributed():
+    program = compile_program(PROGRAMS["loops"], mode="static")
+    result = program.run()
+    assert result.cycles > 100
+    assert result.cycles_by_owner.get("fn:main", 0) > 0
+    assert sum(result.cycles_by_owner.values()) == result.cycles
+
+
+def test_other_entry_function():
+    source = """
+    int helper(int x) { return x + 1; }
+    int main() { return 0; }
+    """
+    program = compile_program(source, mode="static")
+    assert program.run("helper", [41]).value == 42

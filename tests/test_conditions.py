@@ -1,0 +1,149 @@
+"""Reachability-condition (DNF of branch outcomes) algebra tests.
+
+These exercise the representation of section 3.1 / appendix A.2,
+including the paper's simplification rule
+``{{A->T,cs}, {A->F,cs}, ds} -> {{cs}, ds}``.
+"""
+
+from repro.analysis.conditions import (
+    Condition, FALSE, MAX_DISJUNCTS, TRUE, and_atom, drop_branch, exclusive,
+    or_, pairwise_exclusive, simplify,
+)
+
+
+def cond(*conjuncts):
+    return Condition(frozenset(frozenset(c) for c in conjuncts))
+
+
+A_T = ("A", "T")
+A_F = ("A", "F")
+B_1 = ("B", "1")
+B_2 = ("B", "2")
+B_3 = ("B", "3")
+
+ARITY = {"A": 2, "B": 3}
+
+
+def test_true_and_false():
+    assert TRUE.is_true()
+    assert not TRUE.is_false()
+    assert FALSE.is_false()
+    assert not FALSE.is_true()
+
+
+def test_and_atom_on_true():
+    assert and_atom(TRUE, A_T) == cond([A_T])
+
+
+def test_and_atom_contradiction_eliminates_disjunct():
+    # (A->T) AND (A->F) is unsatisfiable.
+    assert and_atom(cond([A_T]), A_F).is_false()
+
+
+def test_and_atom_distributes():
+    c = cond([A_T], [A_F, B_1])
+    result = and_atom(c, B_2)
+    assert result == cond([A_T, B_2])  # second disjunct contradicted B->1
+
+
+def test_or_unions_disjuncts():
+    assert or_(cond([A_T]), cond([A_F, B_1]), ARITY) == \
+        cond([A_T], [A_F, B_1])
+
+
+def test_or_with_false_is_identity():
+    c = cond([A_T])
+    assert or_(c, FALSE, ARITY) == c
+
+
+def test_or_with_true_is_true():
+    assert or_(cond([A_T]), TRUE, ARITY).is_true()
+
+
+def test_paper_merge_rule():
+    # {{A->T}, {A->F}} -> true: both outcomes covered.
+    assert or_(cond([A_T]), cond([A_F]), ARITY).is_true()
+
+
+def test_paper_merge_rule_with_residue():
+    # {{A->T,B->1}, {A->F,B->1}} -> {{B->1}}.
+    merged = or_(cond([A_T, B_1]), cond([A_F, B_1]), ARITY)
+    assert merged == cond([B_1])
+
+
+def test_nway_merge_needs_all_cases():
+    partial = or_(cond([B_1]), cond([B_2]), ARITY)
+    assert partial == cond([B_1], [B_2])  # B has 3 successors
+    full = or_(partial, cond([B_3]), ARITY)
+    assert full.is_true()
+
+
+def test_absorption():
+    # {{A->T}, {A->T, B->1}} -> {{A->T}}.
+    c = simplify(cond([A_T], [A_T, B_1]), ARITY)
+    assert c == cond([A_T])
+
+
+def test_exclusive_same_branch_different_successors():
+    assert exclusive(cond([A_T]), cond([A_F]))
+    assert exclusive(cond([B_1]), cond([B_2]))
+
+
+def test_not_exclusive_same_condition():
+    assert not exclusive(cond([A_T]), cond([A_T]))
+
+
+def test_not_exclusive_independent_branches():
+    assert not exclusive(cond([A_T]), cond([B_1]))
+
+
+def test_exclusive_with_false():
+    assert exclusive(FALSE, TRUE)
+    assert exclusive(FALSE, FALSE)
+
+
+def test_exclusive_needs_every_disjunct_pair():
+    left = cond([A_T], [B_1])
+    right = cond([A_F])
+    # disjunct {B->1} is compatible with {A->F}.
+    assert not exclusive(left, right)
+
+
+def test_exclusive_disjunction_pairs():
+    # The paper's unstructured example: {{a->T}} vs {{a->F,b->1},{a->F,b->2}}.
+    left = cond([A_T])
+    right = cond([A_F, B_1], [A_F, B_2])
+    assert exclusive(left, right)
+
+
+def test_pairwise_exclusive():
+    assert pairwise_exclusive([cond([B_1]), cond([B_2]), cond([B_3])])
+    assert not pairwise_exclusive([cond([B_1]), cond([B_2]), cond([B_2])])
+
+
+def test_drop_branch():
+    c = cond([A_T, B_1], [A_F])
+    dropped = drop_branch(c, "A", {"B": 3})
+    # {A->F} loses its only atom, leaving an empty (true) disjunct that
+    # absorbs everything else.
+    assert dropped.is_true()
+
+
+def test_drop_branch_keeps_other_atoms():
+    c = cond([A_T, B_1])
+    dropped = drop_branch(c, "A", {"B": 3})
+    assert dropped == cond([B_1])
+
+
+def test_widening_to_true():
+    big = Condition(frozenset(
+        frozenset([("C%d" % i, "T")]) for i in range(MAX_DISJUNCTS + 1)
+    ))
+    arity = {"C%d" % i: 2 for i in range(MAX_DISJUNCTS + 1)}
+    assert simplify(big, arity).is_true()
+
+
+def test_repr_stable():
+    assert repr(TRUE) == "true"
+    assert repr(FALSE) == "false"
+    assert "A->T" in repr(cond([A_T]))

@@ -1,0 +1,94 @@
+"""Flat directive-stream (paper Table 1 / Figure 1) tests."""
+
+import re
+
+from repro import compile_program
+from repro.dynamic.directives import directive_listing, format_directives
+
+CACHE = """
+struct SetStructure { int tag; };
+struct Line { SetStructure **sets; };
+struct Cache { int blockSize; int numLines; Line **lines; int associativity; };
+int cacheLookup(uint addr, Cache *cache) {
+    dynamicRegion (cache) {
+        uint blockSize = (uint)cache->blockSize;
+        uint numLines = (uint)cache->numLines;
+        uint tag = addr / (blockSize * numLines);
+        uint line = (addr / blockSize) % numLines;
+        SetStructure **setArray = cache->lines[line]->sets;
+        int assoc = cache->associativity;
+        int set;
+        unrolled for (set = 0; set < assoc; set++) {
+            if ((uint)setArray[set] dynamic-> tag == tag) return 1;
+        }
+        return 0;
+    }
+}
+int main() { return 0; }
+"""
+
+
+def listing_for(source, func=None):
+    program = compile_program(source, mode="dynamic")
+    (region,) = program.region_codes()
+    return directive_listing(region)
+
+
+def kinds(lines):
+    return [re.match(r"[A-Z_]+", line).group(0) for line in lines]
+
+
+def test_starts_and_ends():
+    lines = listing_for(CACHE)
+    assert lines[0].startswith("START(")
+    assert lines[-1].startswith("END(")
+
+
+def test_cache_example_directive_kinds():
+    # The same directive kinds as Figure 1's listing.
+    present = set(kinds(listing_for(CACHE)))
+    assert {"START", "END", "HOLE", "CONST_BRANCH", "ENTER_LOOP",
+            "EXIT_LOOP", "RESTART_LOOP", "BRANCH", "LABEL"} <= present
+
+
+def test_cache_example_hole_count():
+    # 4 top-level geometry holes + the per-iteration set-index hole.
+    lines = listing_for(CACHE)
+    holes = [l for l in lines if l.startswith("HOLE(")]
+    assert len(holes) == 5
+    assert sum(1 for h in holes if ":" in h) == 1  # iteration-scoped
+
+
+def test_loop_directives_reference_table_slots():
+    lines = listing_for(CACHE)
+    enter = next(l for l in lines if l.startswith("ENTER_LOOP"))
+    assert re.search(r"ENTER_LOOP\(L\d+, \d+\)", enter)
+    restart = next(l for l in lines if l.startswith("RESTART_LOOP"))
+    assert re.search(r"RESTART_LOOP\(L\d+, \d+\)", restart)
+    const_branch = next(l for l in lines if l.startswith("CONST_BRANCH"))
+    assert "1:0" in const_branch  # loop 1, record slot 0 (the predicate)
+
+
+def test_no_loop_no_loop_directives():
+    source = """
+    int f(int c, int v) {
+        dynamicRegion (c) { return c * 3 + v; }
+    }
+    int main() { return f(1, 2); }
+    """
+    present = set(kinds(listing_for(source)))
+    assert "ENTER_LOOP" not in present
+    assert "RESTART_LOOP" not in present
+    assert "HOLE" in present
+
+
+def test_format_directives_header():
+    program = compile_program(CACHE, mode="dynamic")
+    (region,) = program.region_codes()
+    text = format_directives(region)
+    assert text.startswith("; stitcher directives for region 1 of "
+                           "cacheLookup")
+
+
+def test_listing_is_deterministic():
+    assert listing_for(CACHE) == listing_for(CACHE)

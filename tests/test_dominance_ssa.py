@@ -1,0 +1,208 @@
+"""Dominator tree and SSA construction/destruction tests."""
+
+from repro.ir.dominance import DominatorTree
+from repro.ir.instructions import Assign, Phi
+from repro.ir.ssa import base_name, from_ssa, is_ssa, to_ssa
+from repro.ir.values import Temp
+
+from helpers import build, ssa_then_back
+
+LOOP_SRC = """
+int main() {
+    int i = 0; int t = 0;
+    while (i < 10) { t += i; i++; }
+    return t;
+}
+"""
+
+IF_SRC = """
+int main() {
+    int x = 0;
+    int c = 3;
+    if (c > 1) x = 1; else x = 2;
+    return x;
+}
+"""
+
+
+def get_main(source):
+    module = build(source)
+    return module.functions["main"]
+
+
+# -- dominance ----------------------------------------------------------------
+
+
+def test_entry_dominates_everything():
+    func = get_main(LOOP_SRC)
+    dom = DominatorTree(func)
+    for name in func.rpo():
+        assert dom.dominates(func.entry, name)
+
+
+def test_self_domination():
+    func = get_main(LOOP_SRC)
+    dom = DominatorTree(func)
+    for name in func.rpo():
+        assert dom.dominates(name, name)
+
+
+def test_loop_header_dominates_body():
+    func = get_main(LOOP_SRC)
+    dom = DominatorTree(func)
+    header = next(n for n in func.blocks if n.startswith("while"))
+    body = next(n for n in func.blocks if n.startswith("body"))
+    assert dom.dominates(header, body)
+    assert not dom.dominates(body, header)
+
+
+def test_branch_sides_do_not_dominate_join():
+    func = get_main(IF_SRC)
+    dom = DominatorTree(func)
+    then = next(n for n in func.blocks if n.startswith("then"))
+    join = next(n for n in func.blocks if n.startswith("join"))
+    assert not dom.dominates(then, join)
+
+
+def test_dominance_frontier_of_branch_sides_is_join():
+    func = get_main(IF_SRC)
+    dom = DominatorTree(func)
+    then = next(n for n in func.blocks if n.startswith("then"))
+    join = next(n for n in func.blocks if n.startswith("join"))
+    assert join in dom.frontier[then]
+
+
+def test_loop_header_in_own_frontier():
+    func = get_main(LOOP_SRC)
+    dom = DominatorTree(func)
+    header = next(n for n in func.blocks if n.startswith("while"))
+    assert header in dom.frontier[header]
+
+
+def test_dom_tree_preorder_covers_all_blocks():
+    func = get_main(LOOP_SRC)
+    dom = DominatorTree(func)
+    order = dom.dom_tree_preorder()
+    assert set(order) == set(func.rpo())
+    assert order[0] == func.entry
+
+
+# -- SSA ------------------------------------------------------------------------
+
+
+def test_to_ssa_single_def():
+    func = get_main(LOOP_SRC)
+    to_ssa(func)
+    assert is_ssa(func)
+    func.verify()
+
+
+def test_loop_gets_phis():
+    func = get_main(LOOP_SRC)
+    to_ssa(func)
+    header = next(n for n in func.blocks if n.startswith("while"))
+    names = {base_name(p.dst.name) for p in func.blocks[header].phis()}
+    assert "i" in names and "t" in names
+
+
+def test_if_join_gets_phi():
+    func = get_main(IF_SRC)
+    to_ssa(func)
+    join = next(n for n in func.blocks if n.startswith("join"))
+    phis = func.blocks[join].phis()
+    assert any(base_name(p.dst.name) == "x" for p in phis)
+
+
+def test_dead_phis_removed():
+    src = """
+    int main() {
+        int unused = 0;
+        int c = 1;
+        if (c) unused = 1; else unused = 2;
+        return 7;
+    }
+    """
+    func = get_main(src)
+    to_ssa(func)
+    for block in func.blocks.values():
+        for phi in block.phis():
+            assert base_name(phi.dst.name) != "unused"
+
+
+def test_base_name():
+    assert base_name("x.3") == "x"
+    assert base_name("x") == "x"
+    assert base_name("a.b.12") == "a.b"
+    assert base_name("t1") == "t1"
+
+
+def test_from_ssa_removes_phis():
+    func = get_main(LOOP_SRC)
+    to_ssa(func)
+    from_ssa(func)
+    for block in func.blocks.values():
+        assert not any(isinstance(i, Phi) for i in block.instrs)
+    func.verify()
+
+
+def test_ssa_round_trip_semantics():
+    ssa_then_back(LOOP_SRC)
+    ssa_then_back(IF_SRC)
+
+
+def test_ssa_round_trip_unstructured():
+    ssa_then_back("""
+    int main() {
+        int i = 0; int t = 0;
+    top:
+        t += i;
+        i++;
+        if (i < 7) goto top;
+        return t;
+    }
+    """)
+
+
+def test_ssa_round_trip_switch():
+    ssa_then_back("""
+    int main() {
+        int t = 0; int i;
+        for (i = 0; i < 6; i++) {
+            switch (i % 3) {
+                case 0: t += 1;
+                case 1: t += 10; break;
+                default: t += 100;
+            }
+        }
+        return t;
+    }
+    """)
+
+
+def test_swap_problem():
+    # Classic parallel-copy cycle: a,b swap each iteration.
+    ssa_then_back("""
+    int main() {
+        int a = 1; int b = 2; int i;
+        for (i = 0; i < 5; i++) {
+            int t = a; a = b; b = t;
+        }
+        return a * 10 + b;
+    }
+    """)
+
+
+def test_region_const_temps_recorded():
+    src = """
+    int f(int c) {
+        dynamicRegion (c) { return c * 2; }
+    }
+    """
+    module = build(src)
+    func = module.functions["f"]
+    to_ssa(func)
+    region = func.regions[0]
+    assert region.const_temps is not None
+    assert len(region.const_temps) == 1
+    assert isinstance(region.const_temps[0], Temp)
+    assert base_name(region.const_temps[0].name) == "c"

@@ -1,0 +1,383 @@
+"""End-to-end dynamic-compilation tests.
+
+For every program here the full tower must agree: reference
+interpreter (raw IR, optimized IR, post-split IR) and the VM in static
+and dynamic modes.  Then we check the things the paper's system
+promises: set-up runs once, stitched code is reused, keyed regions get
+one compiled version per key, const branches are eliminated, unrolled
+loops are unrolled.
+"""
+
+import pytest
+
+from repro import compile_program
+
+from helpers import run_all_ways
+
+CACHE_LOOKUP = """
+struct SetStructure { int tag; };
+struct Line { SetStructure **sets; };
+struct Cache { int blockSize; int numLines; Line **lines; int associativity; };
+
+int cacheLookup(uint addr, Cache *cache) {
+    dynamicRegion (cache) {
+        uint blockSize = (uint)cache->blockSize;
+        uint numLines = (uint)cache->numLines;
+        uint tag = addr / (blockSize * numLines);
+        uint line = (addr / blockSize) % numLines;
+        SetStructure **setArray = cache->lines[line]->sets;
+        int assoc = cache->associativity;
+        int set;
+        unrolled for (set = 0; set < assoc; set++) {
+            if ((uint)setArray[set] dynamic-> tag == tag)
+                return 1;
+        }
+        return 0;
+    }
+}
+
+Cache *makeCache(int blockSize, int numLines, int assoc) {
+    Cache *c = (Cache*)alloc(sizeof(Cache));
+    c->blockSize = blockSize;
+    c->numLines = numLines;
+    c->associativity = assoc;
+    c->lines = (Line**)alloc(numLines);
+    int i;
+    for (i = 0; i < numLines; i++) {
+        Line *ln = (Line*)alloc(sizeof(Line));
+        ln->sets = (SetStructure**)alloc(assoc);
+        int j;
+        for (j = 0; j < assoc; j++) {
+            SetStructure *s = (SetStructure*)alloc(sizeof(SetStructure));
+            s->tag = 0 - 1;
+            ln->sets[j] = s;
+        }
+        c->lines[i] = ln;
+    }
+    return c;
+}
+
+int main() {
+    Cache *c = makeCache(32, 64, 4);
+    uint addr = 123456;
+    c->lines[(addr / 32) % 64]->sets[2]->tag = (int)(addr / (32 * 64));
+    int hits = 0;
+    int a;
+    for (a = 0; a < 3000; a += 137) {
+        hits += cacheLookup((uint)a, c);
+    }
+    hits += cacheLookup(addr, c) * 100;
+    print_int(hits);
+    return hits;
+}
+"""
+
+
+def test_cache_lookup_all_ways():
+    value, _ = run_all_ways(CACHE_LOOKUP)
+    assert value >= 100  # the planted address must hit
+
+
+def test_simple_region_no_loop():
+    run_all_ways("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = c * 3 + 1;
+                return d * v;
+            }
+        }
+        int main() {
+            int t = 0; int i;
+            for (i = 0; i < 20; i++) t += f(7, i);
+            return t;
+        }
+    """)
+
+
+def test_region_with_const_branch():
+    run_all_ways("""
+        int f(int mode, int v) {
+            dynamicRegion (mode) {
+                int r;
+                if (mode > 2) r = v * 10; else r = v + 1;
+                return r;
+            }
+        }
+        int main() {
+            return f(5, 3) * 1000 + f(5, 4);
+        }
+    """)
+
+
+def test_region_with_const_switch():
+    # op varies between calls, so the region must be keyed on it.
+    run_all_ways("""
+        int f(int op, int a, int b) {
+            dynamicRegion key(op) (op) {
+                switch (op) {
+                    case 0: return a + b;
+                    case 1: return a - b;
+                    case 2: return a * b;
+                    default: return 0;
+                }
+            }
+        }
+        int main() {
+            return f(2, 6, 7) * 100 + f(1, 9, 4) * 10 + f(9, 1, 1);
+        }
+    """)
+
+
+def test_annotation_error_reuses_stale_specialization():
+    # The paper's documented sharp edge: annotating a *varying* value as
+    # a run-time constant (without key) silently reuses the first
+    # specialization.  This pins down that behaviour.
+    source = """
+    int f(int op, int a, int b) {
+        dynamicRegion (op) {
+            if (op) return a + b;
+            return a * b;
+        }
+    }
+    int main() { return f(1, 2, 3) * 10 + f(0, 2, 3); }
+    """
+    static_result = compile_program(source, mode="static").run()
+    dynamic_result = compile_program(source, mode="dynamic").run()
+    assert static_result.value == 56      # 5*10 + 6
+    assert dynamic_result.value == 55     # second call reuses op=1 code
+    # and only one stitch happened:
+    assert len(dynamic_result.stitch_reports) == 1
+
+
+def test_unrolled_loop_region():
+    run_all_ways("""
+        int dot(int *xs, int n, int *ys) {
+            dynamicRegion (xs, n) {
+                int t = 0; int i;
+                unrolled for (i = 0; i < n; i++) {
+                    t += xs[i] * ys dynamic[ i ];
+                }
+                return t;
+            }
+        }
+        int main() {
+            int xs[4]; int ys[4]; int i;
+            for (i = 0; i < 4; i++) { xs[i] = i + 1; ys[i] = 10 - i; }
+            int t = 0;
+            for (i = 0; i < 30; i++) t += dot(xs, 4, ys);
+            return t;
+        }
+    """)
+
+
+def test_region_used_by_multiple_callers_same_frame_safety():
+    # The stitched code must not capture frame addresses.
+    run_all_ways("""
+        int f(int c) {
+            int local[2];
+            local[0] = c * 2;
+            local[1] = c * 3;
+            dynamicRegion (c) {
+                return local[0] + local[1] + c;
+            }
+        }
+        int main() {
+            return f(10) + f(10) * 1000;
+        }
+    """)
+
+
+def test_float_constants_in_region():
+    run_all_ways("""
+        float scale(float x, float factor) {
+            dynamicRegion (factor) {
+                float twice = factor * 2.0;
+                return x * twice + factor;
+            }
+        }
+        int main() {
+            float t = 0.0; int i;
+            for (i = 0; i < 10; i++) t = t + scale((float) i, 2.5);
+            print_float(t);
+            return (int) t;
+        }
+    """)
+
+
+def test_region_return_of_constant():
+    run_all_ways("""
+        int f(int c) {
+            dynamicRegion (c) {
+                int d = c * c;
+                return d;
+            }
+        }
+        int main() { return f(9) + f(9); }
+    """)
+
+
+def test_constant_used_after_region():
+    # Rematerialization: a run-time constant computed in the region and
+    # used after it must be re-established by stitched code.
+    run_all_ways("""
+        int f(int c, int v) {
+            int d = 0;
+            dynamicRegion (c) {
+                d = c * 5;
+            }
+            return d + v;
+        }
+        int main() { return f(4, 1) + f(4, 2) * 100; }
+    """)
+
+
+def test_region_with_stores():
+    run_all_ways("""
+        int f(int *out, int c, int v) {
+            dynamicRegion (c) {
+                out dynamic[ 0 ] = c * v;
+                out dynamic[ 1 ] = c + v;
+            }
+            return out[0] + out[1];
+        }
+        int main() {
+            int buffer[2];
+            return f(buffer, 6, 7) + f(buffer, 6, 8) * 100;
+        }
+    """)
+
+
+def test_two_regions_one_function():
+    run_all_ways("""
+        int f(int a, int b, int v) {
+            int r1 = 0; int r2 = 0;
+            dynamicRegion (a) {
+                r1 = a * 2 + v;
+            }
+            dynamicRegion (b) {
+                r2 = b * 3 + v;
+            }
+            return r1 * 100 + r2;
+        }
+        int main() { return f(3, 4, 1) + f(3, 4, 2); }
+    """)
+
+
+def test_nested_unrolled_loops():
+    run_all_ways("""
+        int f(int rows, int cols, int *m) {
+            dynamicRegion (rows, cols, m) {
+                int t = 0; int i; int j;
+                unrolled for (i = 0; i < rows; i++) {
+                    unrolled for (j = 0; j < cols; j++) {
+                        t += m dynamic[ i * cols + j ];
+                    }
+                }
+                return t;
+            }
+        }
+        int main() {
+            int m[6]; int i;
+            for (i = 0; i < 6; i++) m[i] = i * i;
+            return f(2, 3, m) + f(2, 3, m) * 100;
+        }
+    """)
+
+
+def test_keyed_region_caches_per_key():
+    source = """
+    int scale(int v, int s) {
+        dynamicRegion key(s) (s) {
+            return v * s;
+        }
+    }
+    int main() {
+        int t = 0; int i;
+        for (i = 0; i < 10; i++) {
+            t += scale(i, 3) + scale(i, 5) + scale(i, 3);
+        }
+        return t;
+    }
+    """
+    run_all_ways(source)
+    program = compile_program(source, mode="dynamic")
+    result = program.run()
+    # exactly one stitch per distinct key value
+    assert len(result.stitch_reports) == 2
+    assert sorted(r.key for r in result.stitch_reports) == [(3,), (5,)]
+
+
+def test_setup_runs_once_per_key():
+    source = """
+    int f(int c, int v) {
+        dynamicRegion (c) {
+            int d = c * 7;
+            return d + v;
+        }
+    }
+    int main() {
+        int t = 0; int i;
+        for (i = 0; i < 100; i++) t += f(6, i);
+        return t;
+    }
+    """
+    program = compile_program(source, mode="dynamic")
+    result = program.run()
+    assert len(result.stitch_reports) == 1
+    breakdown = result.region_cycles("f", 1, "dynamic")
+    # set-up + stitcher are one-time; stitched code dominates.
+    assert breakdown["stitched"] > breakdown["setup"]
+    assert breakdown["dispatch"] > 0
+
+
+def test_const_branch_dead_code_not_emitted():
+    source = """
+    int f(int mode, int v) {
+        dynamicRegion (mode) {
+            if (mode) { return v * 1111; }
+            return v * 2222;
+        }
+    }
+    int main() { return f(1, 2); }
+    """
+    program = compile_program(source, mode="dynamic")
+    result = program.run()
+    (report,) = result.stitch_reports
+    assert report.const_branches_resolved == 1
+    assert report.dead_sides_eliminated >= 1
+    template_size = program.template_size("f", 1)
+    assert report.instrs_emitted < template_size
+
+
+def test_unrolled_loop_iterations_reported():
+    source = """
+    int f(int n, int *data) {
+        int t = 0;
+        dynamicRegion (n) {
+            int i;
+            unrolled for (i = 0; i < n; i++) t += data dynamic[ i ];
+            return t;
+        }
+    }
+    int main() {
+        int data[5]; int i;
+        for (i = 0; i < 5; i++) data[i] = i;
+        return f(5, data);
+    }
+    """
+    program = compile_program(source, mode="dynamic")
+    result = program.run()
+    (report,) = result.stitch_reports
+    # 5 body iterations + the final (false-predicate) record.
+    assert report.loop_iterations == {1: 6}
+    assert report.optimizations_applied()["complete_loop_unrolling"]
+
+
+def test_reachability_ablation_still_correct():
+    # Turning off the reachability analysis loses optimization but must
+    # not change results.
+    program = compile_program(CACHE_LOOKUP, mode="dynamic",
+                              use_reachability=False)
+    result = program.run()
+    reference = compile_program(CACHE_LOOKUP, mode="static").run()
+    assert result.value == reference.value

@@ -1,0 +1,130 @@
+"""Engine / Program API tests and accounting invariants."""
+
+import pytest
+
+from repro import (
+    FUSED_STITCHER, OptOptions, StitcherCosts, compile_program,
+)
+from repro.machine.vm import VMError
+
+SIMPLE = """
+int f(int c, int v) {
+    dynamicRegion (c) { return c * 2 + v; }
+}
+int main() { return f(4, 3); }
+"""
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        compile_program(SIMPLE, mode="jit")
+
+
+def test_cycle_accounting_sums_exactly():
+    for mode in ("static", "dynamic"):
+        result = compile_program(SIMPLE, mode=mode).run()
+        assert sum(result.cycles_by_owner.values()) == result.cycles
+
+
+def test_owner_prefix_helper():
+    result = compile_program(SIMPLE, mode="dynamic").run()
+    assert result.owner_cycles("fn:") > 0
+    assert result.owner_cycles("stitch") > 0
+    assert result.owner_cycles("nonexistent:") == 0
+
+
+def test_region_cycles_static_vs_dynamic_keys():
+    static = compile_program(SIMPLE, mode="static").run()
+    dynamic = compile_program(SIMPLE, mode="dynamic").run()
+    assert set(static.region_cycles("f", 1, "static")) == {"region"}
+    assert set(dynamic.region_cycles("f", 1, "dynamic")) == {
+        "stitched", "setup", "stitcher", "dispatch"}
+
+
+def test_template_size_lookup():
+    program = compile_program(SIMPLE, mode="dynamic")
+    assert program.template_size("f", 1) > 0
+    with pytest.raises(KeyError):
+        program.template_size("f", 99)
+
+
+def test_fresh_vm_per_run():
+    program = compile_program(SIMPLE, mode="dynamic")
+    first = program.run()
+    second = program.run()
+    # identical cycles: each run starts from a cold code cache
+    assert first.cycles == second.cycles
+    assert len(first.stitch_reports) == len(second.stitch_reports) == 1
+
+
+def test_max_cycles_enforced():
+    source = "int main() { while (1) { } return 0; }"
+    program = compile_program(source, mode="static")
+    with pytest.raises(VMError):
+        program.run(max_cycles=10_000)
+
+
+def test_unknown_entry_function():
+    program = compile_program(SIMPLE, mode="static")
+    with pytest.raises(VMError):
+        program.run("nope")
+
+
+def test_opt_options_plumbed():
+    unopt = compile_program(SIMPLE, mode="static",
+                            opt_options=OptOptions(
+                                fold=False, copyprop=False, cse=False,
+                                algebraic=False, dce=False, merge=False))
+    opt = compile_program(SIMPLE, mode="static")
+    r1 = unopt.run()
+    r2 = opt.run()
+    assert r1.value == r2.value == 11
+    assert r1.cycles > r2.cycles  # optimization actually saved cycles
+
+
+def test_stitcher_costs_plumbed():
+    expensive = StitcherCosts().scaled(10.0)
+    cheap = compile_program(SIMPLE, mode="dynamic",
+                            stitcher_costs=FUSED_STITCHER).run()
+    dear = compile_program(SIMPLE, mode="dynamic",
+                           stitcher_costs=expensive).run()
+    assert dear.stitch_reports[0].cycles > cheap.stitch_reports[0].cycles
+    assert dear.value == cheap.value
+
+
+def test_opt_stats_available():
+    program = compile_program(SIMPLE, mode="static")
+    assert "f" in program.opt_stats
+    assert "main" in program.opt_stats
+
+
+def test_static_mode_attributes_region_cycles():
+    result = compile_program(SIMPLE, mode="static").run()
+    assert result.region_cycles("f", 1, "static")["region"] > 0
+
+
+def test_output_capture_order():
+    source = """
+    int main() {
+        print_int(1);
+        print_float(2.5);
+        print_int(3);
+        return 0;
+    }
+    """
+    result = compile_program(source, mode="static").run()
+    assert result.output == [1, 2.5, 3]
+
+
+def test_float_entry_result():
+    source = "float half(float x) { return x / 2.0; }\nint main() { return 0; }"
+    program = compile_program(source, mode="static")
+    result = program.run("half", [])  # float args unsupported via CLI path
+    # value register defaults; just check float_value is exposed
+    assert isinstance(result.float_value, float)
+
+
+def test_memory_words_option():
+    program = compile_program(SIMPLE, mode="static")
+    result = program.run(memory_words=1 << 18)
+    assert result.value == 11

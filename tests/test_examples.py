@@ -1,0 +1,30 @@
+"""The shipped examples must run clean (deliverable smoke tests)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["asymptotic speedup", "breakeven after"]),
+    ("interpreter_specialization.py",
+     ["cycles per interpretation", "register actions promoted"]),
+    ("matrix_kernels.py", ["strength reduction", "unrolling"]),
+    ("event_dispatch.py", ["stitches: 2", "dispatch cycles"]),
+    ("pattern_matcher.py", ["matches:", "compiled pattern"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES,
+                         ids=[name for name, _ in EXAMPLES])
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    for marker in expected:
+        assert marker in proc.stdout, (
+            "%s output missing %r" % (script, marker))

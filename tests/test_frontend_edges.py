@@ -1,0 +1,233 @@
+"""Frontend edge cases: tricky syntax, diagnostics, odd-but-legal C."""
+
+import pytest
+
+from repro.frontend.errors import ParseError, TypeError_
+from repro.frontend.parser import parse
+from repro.frontend.typecheck import check
+
+from helpers import interp_run
+
+
+def run(source, func="main", args=None):
+    return interp_run(source, func, args)[0]
+
+
+# -- syntax corners -------------------------------------------------------
+
+
+def test_deeply_nested_expressions():
+    expr = "1"
+    for _ in range(60):
+        expr = "(%s + 1)" % expr
+    assert run("int main() { return %s; }" % expr) == 61
+
+
+def test_deeply_nested_blocks():
+    body = "x = x + 1;"
+    for _ in range(40):
+        body = "{ %s }" % body
+    assert run("int main() { int x = 0; %s return x; }" % body) == 1
+
+
+def test_comment_between_tokens():
+    assert run("int main() { return 1 /*x*/ + /*y*/ 2; }") == 3
+
+
+def test_empty_statements():
+    assert run("int main() { ;;; return 5;; }") == 5
+
+
+def test_for_with_comma_free_update():
+    assert run("""
+        int main() {
+            int t = 0; int i;
+            for (i = 10; i > 0; i--) t++;
+            return t;
+        }
+    """) == 10
+
+
+def test_chained_comparisons_parse_left_assoc():
+    # (1 < 2) < 3  ->  1 < 3  -> 1
+    assert run("int main() { return 1 < 2 < 3; }") == 1
+
+
+def test_assignment_in_condition():
+    assert run("""
+        int main() {
+            int x = 0; int n = 0;
+            while ((x = x + 1) < 5) n++;
+            return n * 10 + x;
+        }
+    """) == 45
+
+
+def test_ternary_nests_right():
+    assert run("int main() { int a = 0; return a ? 1 : a + 1 ? 2 : 3; }") == 2
+
+
+def test_bitwise_precedence_like_c():
+    # & binds tighter than ^ binds tighter than |
+    assert run("int main() { return 1 | 2 ^ 3 & 2; }") == 1 | 2 ^ 3 & 2
+
+
+def test_shift_then_add():
+    assert run("int main() { return 1 << 2 + 1; }") == 8  # + binds tighter
+
+
+def test_unary_minus_on_literal_expression():
+    assert run("int main() { return -3 * -4; }") == 12
+
+
+def test_struct_with_array_field():
+    assert run("""
+        struct Row { int cells[4]; int tag; };
+        int main() {
+            Row r;
+            int i;
+            for (i = 0; i < 4; i++) r.cells[i] = i * 2;
+            r.tag = 9;
+            return r.cells[3] + r.tag;
+        }
+    """) == 15
+
+
+def test_pointer_to_struct_array_walk():
+    assert run("""
+        struct P { int x; int y; };
+        int main() {
+            P pts[3];
+            int i;
+            for (i = 0; i < 3; i++) { pts[i].x = i; pts[i].y = i * i; }
+            P *p = &pts[1];
+            return p->x * 10 + (p + 1)->y;
+        }
+    """) == 14
+
+
+def test_sizeof_in_expression():
+    assert run("""
+        struct Wide { int a; int b; int c; };
+        int main() { return sizeof(Wide) * 10 + sizeof(int*); }
+    """) == 31
+
+
+def test_switch_on_expression():
+    assert run("""
+        int main() {
+            int t = 0; int i;
+            for (i = 0; i < 9; i++)
+                switch ((i * i) % 4) {
+                    case 0: t += 1; break;
+                    case 1: t += 10; break;
+                    default: t += 0;
+                }
+            return t;
+        }
+    """) == 5 + 40
+
+
+def test_do_while_with_break():
+    assert run("""
+        int main() {
+            int i = 0;
+            do { i++; if (i == 3) break; } while (i < 10);
+            return i;
+        }
+    """) == 3
+
+
+def test_goto_into_loop_body_is_parseable():
+    # Unusual but legal C shape: jump to a label inside a loop.
+    value = run("""
+        int main() {
+            int i = 0; int t = 0;
+            goto inside;
+            while (i < 4) {
+        inside:
+                t += 10;
+                i++;
+            }
+            return t + i;
+        }
+    """)
+    assert value == 44
+
+
+# -- diagnostics ----------------------------------------------------------------
+
+
+def test_parse_error_mentions_token():
+    with pytest.raises(ParseError) as excinfo:
+        parse("int main() { return }; }")
+    assert "}" in str(excinfo.value) or "unexpected" in str(excinfo.value)
+
+
+def test_type_error_mentions_identifier():
+    with pytest.raises(TypeError_) as excinfo:
+        check(parse("int main() { return missing_thing; }"))
+    assert "missing_thing" in str(excinfo.value)
+
+
+def test_error_line_numbers_accurate():
+    source = "int main() {\n  int x = 1;\n  return y;\n}"
+    with pytest.raises(TypeError_) as excinfo:
+        check(parse(source))
+    assert excinfo.value.line == 3
+
+
+def test_arity_error_names_function():
+    with pytest.raises(TypeError_) as excinfo:
+        check(parse("""
+            int two(int a, int b) { return a + b; }
+            int main() { return two(1); }
+        """))
+    assert "two" in str(excinfo.value)
+
+
+def test_field_error_names_struct_and_field():
+    with pytest.raises(TypeError_) as excinfo:
+        check(parse("""
+            struct S { int a; };
+            int main() { S s; return s.b; }
+        """))
+    message = str(excinfo.value)
+    assert "S" in message and "b" in message
+
+
+# -- numeric corners ----------------------------------------------------------------
+
+
+def test_int64_wraparound_literals():
+    assert run("""
+        int main() {
+            int big = 4611686018427387904;    // 2^62
+            return (big * 4 == 0) + (big + big < 0);
+        }
+    """) == 2
+
+
+def test_unsigned_wraparound():
+    assert run("""
+        int main() {
+            uint x = 0;
+            x = x - 1;
+            return (x > 1000000) + (int)(x & 255);
+        }
+    """) == 1 + 255
+
+
+def test_float_precision_survives_pipeline():
+    value, output = interp_run("""
+        int main() {
+            float tiny = 0.0078125;     // 2^-7, exact in binary
+            float acc = 0.0;
+            int i;
+            for (i = 0; i < 128; i++) acc = acc + tiny;
+            print_float(acc);
+            return (int) acc;
+        }
+    """)
+    assert output == [1.0]
+    assert value == 1

@@ -1,0 +1,115 @@
+"""Measurement-harness and reporting tests (Table 2 math)."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import BenchmarkMeasurement, measure
+from repro.bench.reporting import format_table2, format_table3, table3_dict
+from repro.bench.workloads import Workload, scalar_matrix_workload
+
+
+def make_row(static=1000, dynamic=400, dispatch=100, setup=50,
+             stitcher=5000, executions=10, instrs=20):
+    workload = Workload(name="demo", config="cfg", source="",
+                        region_func="f", executions=executions,
+                        unit="widgets", units_per_execution=2.0)
+    return BenchmarkMeasurement(
+        workload=workload,
+        executions=executions,
+        static_cycles=static,
+        dynamic_stitched_cycles=dynamic,
+        dynamic_dispatch_cycles=dispatch,
+        setup_cycles=setup,
+        stitcher_cycles=stitcher,
+        instrs_stitched=instrs,
+        stitches=1,
+        optimizations={"constant_folding": True},
+    )
+
+
+def test_per_execution_math():
+    row = make_row()
+    assert row.static_per_execution == 100.0
+    assert row.dynamic_per_execution == 50.0   # (400+100)/10
+    assert row.speedup == 2.0
+
+
+def test_overhead_is_setup_plus_stitcher():
+    row = make_row()
+    assert row.overhead == 5050
+
+
+def test_breakeven_formula():
+    row = make_row()
+    # gain 50/exec, overhead 5050 -> 101 executions
+    assert row.breakeven_executions == math.ceil(5050 / 50) == 101
+    assert row.breakeven_paper_units == 202.0  # 2 widgets/execution
+
+
+def test_breakeven_never_when_dynamic_loses():
+    row = make_row(static=400, dynamic=400, dispatch=100)
+    assert row.speedup < 1
+    assert row.breakeven_executions is None
+    assert row.breakeven_paper_units is None
+
+
+def test_cycles_per_stitched_instr():
+    row = make_row()
+    assert row.cycles_per_stitched_instr == 5050 / 20
+
+
+def test_measure_catches_result_mismatch():
+    workload = scalar_matrix_workload(rows=3, cols=3, scalars=2)
+    workload.expected = -999  # sabotage
+    with pytest.raises(AssertionError):
+        measure(workload)
+
+
+def test_measure_returns_consistent_row():
+    workload = scalar_matrix_workload(rows=4, cols=4, scalars=3)
+    row = measure(workload)
+    assert row.executions == 3
+    assert row.stitches == 3         # one per key
+    assert row.static_cycles > 0
+    assert row.dynamic_stitched_cycles > 0
+    assert row.setup_cycles > 0
+    assert row.stitcher_cycles > 0
+    assert row.instrs_stitched > 0
+    assert row.static_result is not None
+    assert row.dynamic_result is not None
+
+
+def test_measure_is_deterministic():
+    workload = scalar_matrix_workload(rows=4, cols=4, scalars=3)
+    a = measure(workload)
+    b = measure(workload)
+    assert a.static_cycles == b.static_cycles
+    assert a.dynamic_stitched_cycles == b.dynamic_stitched_cycles
+    assert a.stitcher_cycles == b.stitcher_cycles
+
+
+def test_format_table2_contains_rows():
+    rows = [make_row()]
+    text = format_table2(rows)
+    assert "demo" in text
+    assert "2.00x" in text
+    assert "202 widgets" in text
+
+
+def test_format_table2_never_row():
+    rows = [make_row(static=400, dynamic=400, dispatch=100)]
+    assert "never" in format_table2(rows)
+
+
+def test_format_table3_one_row_per_benchmark():
+    rows = [make_row(), make_row()]
+    text = format_table3(rows)
+    assert text.count("demo") == 1
+    assert "yes" in text
+
+
+def test_table3_dict():
+    rows = [make_row()]
+    matrix = table3_dict(rows)
+    assert matrix["demo"]["constant_folding"]

@@ -1,0 +1,184 @@
+"""Set-up hoisting and extended-loop-scope tests.
+
+Covers the splitter's handling of run-time constants that live on
+paths set-up code cannot follow: speculatable defs hoist to the
+nearest reachable dominator; iteration-scoped constants consumed on
+loop-exit paths force per-iteration stitching of those exit blocks.
+"""
+
+import pytest
+
+from repro import compile_program
+from repro.dynamic.splitter import split_module
+from repro.frontend.errors import AnnotationError
+from repro.ir.ssa import to_ssa
+from repro.opt.pipeline import optimize
+
+from helpers import build, run_all_ways
+
+
+def split(source):
+    module = build(source)
+    for func in module.functions.values():
+        to_ssa(func)
+        optimize(func)
+    return module, split_module(module)
+
+
+def test_constant_under_nonconstant_branch_hoisted():
+    # d = c * 3 executes only when v > 0, but it is speculatable, so
+    # set-up code computes it unconditionally.
+    run_all_ways("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                if (v > 0) {
+                    int d = c * 3;
+                    return d + v;
+                }
+                return v;
+            }
+        }
+        int main() { return f(7, 5) * 1000 + f(7, -1) + 10; }
+    """)
+
+
+def test_iteration_constant_on_exit_path():
+    # The early-return value (0 - dir) is iteration scoped and consumed
+    # outside the loop body: the stitcher must emit the exit block once
+    # per iteration (extended body).
+    run_all_ways("""
+        int pick(int *dirs, int n, int *xs) {
+            dynamicRegion (dirs, n) {
+                int i;
+                unrolled for (i = 0; i < n; i++) {
+                    int dir = dirs[i];
+                    if (xs dynamic[ i ] > 0) return 0 - dir;
+                }
+                return 99;
+            }
+        }
+        int main() {
+            int dirs[3]; int xs[3];
+            dirs[0] = 5; dirs[1] = 7; dirs[2] = 9;
+            xs[0] = 0; xs[1] = 1; xs[2] = 0;
+            int a = pick(dirs, 3, xs);     // hits i=1 -> -7
+            xs[1] = 0;
+            int b = pick(dirs, 3, xs);     // no hit -> 99
+            xs[0] = 2;
+            int c = pick(dirs, 3, xs);     // hits i=0 -> -5
+            return a * 10000 + b * 10 + c + 500;
+        }
+    """)
+
+
+def test_extended_body_recorded():
+    module, plans = split("""
+        int pick(int *dirs, int n, int *xs) {
+            dynamicRegion (dirs, n) {
+                int i;
+                unrolled for (i = 0; i < n; i++) {
+                    int dir = dirs[i];
+                    if (xs dynamic[ i ] > 0) return 0 - dir;
+                }
+                return 99;
+            }
+        }
+    """)
+    (plan,) = plans
+    (loop,) = plan.table.loops.values()
+    assert loop.extended_body  # the early-return block
+
+
+def test_exit_blocks_stitched_per_iteration():
+    source = """
+    int pick(int *dirs, int n, int *xs) {
+        dynamicRegion (dirs, n) {
+            int i;
+            unrolled for (i = 0; i < n; i++) {
+                int dir = dirs[i];
+                if (xs dynamic[ i ] > 0) return 0 - dir;
+            }
+            return 99;
+        }
+    }
+    int main() {
+        int dirs[4]; int xs[4]; int i;
+        for (i = 0; i < 4; i++) { dirs[i] = i + 1; xs[i] = 0; }
+        return pick(dirs, 4, xs);
+    }
+    """
+    program = compile_program(source, mode="dynamic")
+    result = program.run()
+    assert result.value == 99
+    (report,) = result.stitch_reports
+    # 4 iterations of body, each with its own copy of the return block.
+    template = program.template_size("pick", 1)
+    assert report.instrs_emitted > template  # duplication happened
+
+
+def test_hoisted_constant_in_loop_context():
+    # A per-iteration constant under a non-constant branch inside the
+    # loop hoists to the loop body, staying iteration scoped.
+    run_all_ways("""
+        int f(int *ws, int n, int *xs) {
+            dynamicRegion (ws, n) {
+                int t = 0; int i;
+                unrolled for (i = 0; i < n; i++) {
+                    if (xs dynamic[ i ] != 0) {
+                        int scaled = ws[i] * 2;
+                        t += scaled;
+                    }
+                }
+                return t;
+            }
+        }
+        int main() {
+            int ws[3]; int xs[3];
+            ws[0] = 10; ws[1] = 20; ws[2] = 30;
+            xs[0] = 1; xs[1] = 0; xs[2] = 1;
+            return f(ws, 3, xs);
+        }
+    """)
+
+
+def test_cut_follows_constants():
+    # The non-constant branch cut follows the side holding the
+    # constant merge, so this shape needs no hoisting at all.
+    run_all_ways("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = 0;
+                if (v > 0) {
+                    if (c > 10) d = c * 2; else d = c * 3;
+                    return d + v;
+                }
+                return v;
+            }
+        }
+        int main() { return f(20, 3) * 100 + f(20, -1) + 5; }
+    """)
+
+
+def test_constant_phi_unreachable_by_setup_rejected():
+    # Both sides of a non-constant branch contain constant merges whose
+    # results templates need; set-up code can only follow one side, and
+    # a constant *merge* cannot be speculated by hoisting.
+    module = build("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = 0;
+                int e = 0;
+                if (v > 0) {
+                    if (c > 10) d = c * 2; else d = c * 3;
+                    return d + v;
+                }
+                if (c > 5) e = c * 4; else e = c * 5;
+                return e + v;
+            }
+        }
+    """)
+    for func in module.functions.values():
+        to_ssa(func)
+        optimize(func)
+    with pytest.raises(AnnotationError):
+        split_module(module)

@@ -1,0 +1,133 @@
+"""Reference-interpreter edge cases and IR printer tests."""
+
+import pytest
+
+from repro.ir.printer import format_function, format_module
+from repro.ir.ssa import to_ssa
+from repro.runtime.interp import Interpreter, InterpError, run_source
+
+from helpers import build
+
+
+# -- interpreter ------------------------------------------------------------
+
+
+def test_run_source_convenience():
+    value, output = run_source(
+        "int main() { print_int(5); return 9; }")
+    assert value == 9
+    assert output == [5]
+
+
+def test_run_with_arguments():
+    value, _ = run_source("int main(int a, int b) { return a - b; }",
+                          args=[10, 4])
+    assert value == 6
+
+
+def test_wrong_arity_raises():
+    module = build("int main(int a) { return a; }")
+    with pytest.raises(InterpError):
+        Interpreter(module).run("main", [])
+
+
+def test_unknown_function_raises():
+    module = build("int main() { return 0; }")
+    with pytest.raises(InterpError):
+        Interpreter(module).run("ghost")
+
+
+def test_step_limit():
+    module = build("int main() { while (1) { } return 0; }")
+    interp = Interpreter(module, max_steps=1000)
+    with pytest.raises(InterpError):
+        interp.run()
+
+
+def test_heap_allocation_addresses_disjoint():
+    source = """
+    int main() {
+        int *a = (int*) alloc(10);
+        int *b = (int*) alloc(10);
+        a[9] = 1;
+        b[0] = 2;
+        return (int)(b - a);
+    }
+    """
+    value, _ = run_source(source)
+    assert value >= 10
+
+
+def test_stack_restored_after_calls():
+    source = """
+    int deep(int n) {
+        int pad[50];
+        pad[0] = n;
+        if (n == 0) return pad[0];
+        return deep(n - 1) + pad[0];
+    }
+    int main() { return deep(20); }
+    """
+    value, _ = run_source(source)
+    assert value == sum(range(21))
+
+
+def test_global_initial_values():
+    module = build("int g = 7; float h = 2.5; int main() { return 0; }")
+    interp = Interpreter(module)
+    assert interp.memory[interp.global_addrs["g"]] == 7
+    assert interp.memory[interp.global_addrs["h"]] == 2.5
+
+
+# -- printer ------------------------------------------------------------------
+
+
+def test_format_function_basics():
+    module = build("""
+        int main(int a) {
+            int t = 0;
+            if (a > 0) t = a; else t = 0 - a;
+            return t;
+        }
+    """)
+    text = format_function(module.functions["main"])
+    assert text.startswith("func main(")
+    assert "; entry" in text
+    assert "return" in text
+    assert text.rstrip().endswith("}")
+
+
+def test_format_function_shows_region_metadata():
+    module = build("""
+        int f(int c) {
+            dynamicRegion (c) {
+                int i; int t = 0;
+                unrolled for (i = 0; i < c; i++) t += i;
+                return t;
+            }
+        }
+    """)
+    text = format_function(module.functions["f"])
+    assert "; region 1" in text
+    assert "; unrolled loop 1" in text
+
+
+def test_format_function_shows_phis_after_ssa():
+    module = build("""
+        int main(int a) {
+            int x;
+            if (a) x = 1; else x = 2;
+            return x;
+        }
+    """)
+    func = module.functions["main"]
+    to_ssa(func)
+    text = format_function(func)
+    assert "phi(" in text
+
+
+def test_format_module_includes_globals():
+    module = build("int g = 3; int main() { return g; }")
+    text = format_module(module)
+    assert "global g" in text
+    assert "func main" in text

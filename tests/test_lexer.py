@@ -1,0 +1,140 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop eof
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+def test_empty_source():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_identifiers_and_keywords():
+    tokens = tokenize("int foo while unrolled dynamicRegion bar_2")
+    assert [(t.kind, t.text) for t in tokens[:-1]] == [
+        ("kw", "int"), ("ident", "foo"), ("kw", "while"),
+        ("kw", "unrolled"), ("kw", "dynamicRegion"), ("ident", "bar_2"),
+    ]
+
+
+def test_dynamic_and_key_are_keywords():
+    assert kinds("dynamic key") == ["kw", "kw"]
+
+
+def test_integer_literals():
+    tokens = tokenize("0 42 123456789")
+    assert [t.value for t in tokens[:-1]] == [0, 42, 123456789]
+    assert all(t.kind == "int" for t in tokens[:-1])
+
+
+def test_hex_literals():
+    tokens = tokenize("0x10 0xff 0XABC")
+    assert [t.value for t in tokens[:-1]] == [16, 255, 0xABC]
+
+
+def test_float_literals():
+    tokens = tokenize("1.5 0.25 3.0")
+    assert [t.value for t in tokens[:-1]] == [1.5, 0.25, 3.0]
+    assert all(t.kind == "float" for t in tokens[:-1])
+
+
+def test_float_with_exponent():
+    tokens = tokenize("1e3 2.5e-2 1E+2")
+    assert [t.value for t in tokens[:-1]] == [1000.0, 0.025, 100.0]
+
+
+def test_leading_dot_float():
+    tokens = tokenize(".5")
+    assert tokens[0].kind == "float"
+    assert tokens[0].value == 0.5
+
+
+def test_integer_then_member_access_not_float():
+    # "a.b" must not lex the dot into a float
+    assert texts("a.b") == ["a", ".", "b"]
+
+
+def test_multi_char_operators():
+    ops = "-> ++ -- << >> <= >= == != && || += -= *= /= %="
+    assert texts(ops) == ops.split()
+
+
+def test_maximal_munch():
+    assert texts("a+++b") == ["a", "++", "+", "b"]
+    assert texts("a<<=b") == ["a", "<<=", "b"]
+
+
+def test_single_char_operators():
+    assert texts("+ - * / % < > = ! & | ^ ~ ; , . ( ) { } [ ] ? :") == \
+        "+ - * / % < > = ! & | ^ ~ ; , . ( ) { } [ ] ? :".split()
+
+
+def test_line_comment():
+    assert texts("a // comment here\n b") == ["a", "b"]
+
+
+def test_block_comment():
+    assert texts("a /* multi \n line */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("a /* never ends")
+
+
+def test_string_literal():
+    tokens = tokenize('"hello world"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].value == "hello world"
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"a\nb\tc\\d"')
+    assert tokens[0].value == "a\nb\tc\\d"
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('"never ends')
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].col == 1
+    assert tokens[1].line == 2 and tokens[1].col == 3
+
+
+def test_error_position():
+    try:
+        tokenize("ok\n   @")
+    except LexError as exc:
+        assert exc.line == 2
+        assert exc.col == 4
+    else:
+        pytest.fail("expected LexError")
+
+
+def test_keywords_not_inside_identifiers():
+    tokens = tokenize("integer whiles dynamics")
+    assert all(t.kind == "ident" for t in tokens[:-1])
+
+
+def test_underscore_identifier():
+    tokens = tokenize("_private __x")
+    assert [t.text for t in tokens[:-1]] == ["_private", "__x"]

@@ -1,0 +1,171 @@
+"""Assorted unit tests: liveness, loader, cost model, bench CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.liveness import block_use_def, liveness
+from repro.ir.ssa import from_ssa, to_ssa
+from repro.machine.costs import (
+    FUSED_STITCHER, OP_CYCLES, RT_CYCLES, StitcherCosts, op_cost,
+)
+from repro.machine.isa import MInstr, OPCODES
+from repro.machine.loader import load_program
+from repro.machine.vm import VM, VMError
+
+from helpers import build
+
+
+def phi_free(source, func="main"):
+    module = build(source)
+    f = module.functions[func]
+    to_ssa(f)
+    from_ssa(f)
+    return f
+
+
+# -- liveness ---------------------------------------------------------------
+
+
+def test_liveness_rejects_phis():
+    module = build("int main(int a) { int x; if (a) x = 1; else x = 2;"
+                   " return x; }")
+    f = module.functions["main"]
+    to_ssa(f)
+    with pytest.raises(ValueError):
+        liveness(f)
+
+
+def test_loop_variable_live_around_backedge():
+    f = phi_free("""
+        int main() {
+            int i = 0; int t = 0;
+            while (i < 5) { t += i; i++; }
+            return t;
+        }
+    """)
+    live_in, live_out = liveness(f)
+    header = next(n for n in f.blocks if n.startswith("while"))
+    # both accumulator and induction variable live into the header
+    live = {name.split(".")[0] for name in live_in[header]}
+    assert "i" in live and "t" in live
+
+
+def test_dead_value_not_live_out():
+    f = phi_free("""
+        int main(int a) {
+            int dead = a * 2;
+            return a;
+        }
+    """)
+    live_in, live_out = liveness(f)
+    for block in f.blocks:
+        assert not any(n.startswith("dead") for n in live_out[block])
+
+
+def test_use_def_upward_exposed():
+    f = phi_free("int main(int a) { int x = a + 1; return x + a; }")
+    uses, defs = block_use_def(f)[f.entry]
+    assert "arg_a" in uses
+    assert any(n.startswith("x") for n in defs)
+
+
+# -- cost model ---------------------------------------------------------------
+
+
+def test_every_opcode_has_a_cost():
+    for op in OPCODES:
+        if op == "call_rt":
+            continue
+        assert op in OP_CYCLES, "missing cost for %s" % op
+
+
+def test_op_cost_for_runtime_calls():
+    assert op_cost("call_rt", "alloc") == RT_CYCLES["alloc"]
+    assert op_cost("call_rt", "unknown_service") == 20
+
+
+def test_loads_cost_more_than_alu():
+    assert OP_CYCLES["ldq"] > OP_CYCLES["addq"]
+    assert OP_CYCLES["divq"] > OP_CYCLES["mulq"] > OP_CYCLES["sll"]
+
+
+def test_scaled_costs():
+    base = StitcherCosts()
+    half = base.scaled(0.5)
+    assert half.per_directive == base.per_directive // 2
+    assert half.enable_peepholes == base.enable_peepholes
+
+
+def test_fused_model_cheaper_everywhere():
+    base = StitcherCosts()
+    assert FUSED_STITCHER.per_directive < base.per_directive
+    assert FUSED_STITCHER.per_instr_copied < base.per_instr_copied
+    assert FUSED_STITCHER.per_hole < base.per_hole
+
+
+# -- loader ------------------------------------------------------------------------
+
+
+def test_loader_resolves_cross_function_calls():
+    from repro.codegen.lower import DataLayout, lower_module
+
+    module = build("""
+        int helper(int x) { return x * 3; }
+        int main() { return helper(7); }
+    """)
+    for f in module.functions.values():
+        to_ssa(f)
+        from_ssa(f)
+    layout = DataLayout()
+    layout.add_module_globals(module)
+    compiled = lower_module(module, layout)
+    vm = VM(memory_words=1 << 18)
+    layout.write_into(vm)
+    load_program(vm, compiled)
+    jsrs = [i for i in compiled["main"].code if i.op == "jsr"]
+    assert jsrs and jsrs[0].target == compiled["helper"].base
+    value, _ = vm.run(compiled["main"].base)
+    assert value == 21
+
+
+def test_loader_rejects_unknown_callee():
+    from repro.codegen.lower import DataLayout
+    from repro.codegen.objects import CompiledFunction
+
+    fn = CompiledFunction(name="f")
+    fn.code = [MInstr("jsr", label="func:ghost"), MInstr("ret")]
+    fn.labels = {"f": 0}
+    vm = VM(memory_words=1 << 16)
+    with pytest.raises(VMError):
+        load_program(vm, {"f": fn})
+
+
+# -- op-count statistics --------------------------------------------------------------
+
+
+def test_op_counts_recorded():
+    from repro import compile_program
+
+    result = compile_program(
+        "int main() { int t = 0; int i;"
+        " for (i = 0; i < 10; i++) t += i * 2; return t; }",
+        mode="static").run()
+    assert result.op_counts.get("mulq", 0) + \
+        result.op_counts.get("sll", 0) >= 1
+    assert sum(result.op_counts.values()) == \
+        sum(result.instrs_by_owner.values())
+
+
+# -- bench CLI --------------------------------------------------------------------------
+
+
+def test_bench_cli_smoke():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--scale", "0.3",
+         "--only", "event"],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert "event dispatcher" in proc.stdout
+    assert "Speedup" in proc.stdout

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis).
+
+The central invariant of the whole system: for any program, the
+reference interpreter, statically compiled code and dynamically
+compiled (stitched) code compute the same results.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import compile_program
+from repro.analysis.conditions import (
+    Condition, and_atom, exclusive, or_, simplify,
+)
+from repro.ir.semantics import eval_binop
+from repro.ir.values import to_unsigned, wrap_int
+
+from helpers import interp_run
+
+# -- 64-bit arithmetic properties ----------------------------------------------
+
+int64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+any_int = st.integers(min_value=-(1 << 70), max_value=1 << 70)
+
+
+@given(any_int)
+def test_wrap_int_idempotent(x):
+    assert wrap_int(wrap_int(x)) == wrap_int(x)
+
+
+@given(any_int, any_int)
+def test_wrap_add_homomorphic(x, y):
+    assert wrap_int(wrap_int(x) + wrap_int(y)) == wrap_int(x + y)
+
+
+@given(int64)
+def test_unsigned_roundtrip(x):
+    assert wrap_int(to_unsigned(x)) == x
+
+
+@given(int64, int64)
+def test_eval_matches_python_for_add_mul(x, y):
+    mask = (1 << 64) - 1
+    assert to_unsigned(eval_binop("add", x, y)) == (x + y) & mask
+    assert to_unsigned(eval_binop("mul", x, y)) == (x * y) & mask
+
+
+@given(int64, st.integers(min_value=0, max_value=63))
+def test_shifts_consistent(x, count):
+    assert eval_binop("shl", x, count) == wrap_int(x << count)
+    assert eval_binop("lshr", x, count) == wrap_int(to_unsigned(x) >> count)
+
+
+# -- reachability-condition algebra ------------------------------------------------
+
+atoms = st.sampled_from([("A", "T"), ("A", "F"), ("B", "1"), ("B", "2"),
+                         ("C", "T"), ("C", "F")])
+conjuncts = st.frozensets(atoms, min_size=0, max_size=3)
+conditions = st.builds(
+    Condition, st.frozensets(conjuncts, min_size=0, max_size=4))
+
+ARITY = {"A": 2, "B": 2, "C": 2}
+
+
+def models(cond):
+    """Enumerate truth assignments satisfying a condition."""
+    import itertools
+    results = set()
+    for a, b, c in itertools.product(["T", "F"], ["1", "2"], ["T", "F"]):
+        world = {("A", a), ("B", b), ("C", c)}
+        for conj in cond.disjuncts:
+            if conj <= world:
+                results.add((a, b, c))
+                break
+    return results
+
+
+@given(conditions, conditions)
+def test_or_is_union_of_models(x, y):
+    assert models(or_(x, y, ARITY)) == models(x) | models(y)
+
+
+@given(conditions, atoms)
+def test_and_atom_is_intersection(cond, atom):
+    got = models(and_atom(cond, atom))
+    expected = {w for w in models(cond) if atom in
+                {("A", w[0]), ("B", w[1]), ("C", w[2])}}
+    assert got == expected
+
+
+@given(conditions)
+def test_simplify_preserves_models(cond):
+    assert models(simplify(cond, ARITY)) == models(cond)
+
+
+@given(conditions, conditions)
+def test_exclusive_implies_disjoint_models(x, y):
+    if exclusive(x, y):
+        assert not (models(x) & models(y))
+
+
+@given(conditions, conditions)
+def test_exclusive_symmetric(x, y):
+    assert exclusive(x, y) == exclusive(y, x)
+
+
+# -- random expression programs ------------------------------------------------------
+
+
+def expr_strategy(depth):
+    small = st.integers(min_value=-50, max_value=50).map(
+        lambda v: "(0 - %d)" % -v if v < 0 else str(v))
+    leaf = st.one_of(small, st.sampled_from(["a", "b", "x"]))
+    if depth == 0:
+        return leaf
+    sub = expr_strategy(depth - 1)
+    binop = st.tuples(sub, st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+                      sub).map(lambda t: "(%s %s %s)" % t)
+    division = st.tuples(sub, st.sampled_from(["/", "%"]), sub).map(
+        lambda t: "(%s %s ((%s) | 1))" % (t[0], t[1], t[2]))
+    shift = st.tuples(sub, st.sampled_from(["<<", ">>"]),
+                      st.integers(min_value=0, max_value=8)).map(
+        lambda t: "(%s %s %d)" % t)
+    compare = st.tuples(sub, st.sampled_from(["<", "<=", "==", "!="]),
+                        sub).map(lambda t: "(%s %s %s)" % t)
+    return st.one_of(leaf, binop, division, shift, compare)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expr_strategy(3), st.integers(-100, 100), st.integers(-100, 100))
+def test_random_expressions_static_vm_matches_interp(expr, a, b):
+    source = """
+    int main(int a, int b) {
+        int x = a * 2 - b;
+        return %s;
+    }
+    """ % expr
+    expected, _ = interp_run(source, args=[a, b])
+    program = compile_program(source, mode="static")
+    assert program.run(args=[a, b]).value == expected
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expr_strategy(2), expr_strategy(2), st.integers(-20, 20))
+def test_random_region_dynamic_matches_static(const_expr, var_expr, v):
+    # 'a' and 'b' are region constants; 'x' is the variable input.
+    source = """
+    int f(int a, int b, int x) {
+        dynamicRegion (a, b) {
+            int c = %s;
+            return c + %s;
+        }
+    }
+    int main(int x) {
+        int t = 0; int i;
+        for (i = 0; i < 3; i++) t += f(7, 11, x + i);
+        return t;
+    }
+    """ % (const_expr, var_expr)
+    expected, _ = interp_run(source, args=[v])
+    dynamic = compile_program(source, mode="dynamic")
+    static = compile_program(source, mode="static")
+    assert static.run(args=[v]).value == expected
+    assert dynamic.run(args=[v]).value == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(min_value=-9, max_value=9),
+                min_size=1, max_size=6),
+       st.integers(min_value=-10, max_value=10))
+def test_random_unrolled_dot_product(weights, x):
+    n = len(weights)
+    inits = "\n".join("ws[%d] = %d;" % (i, w) if w >= 0 else
+                      "ws[%d] = 0 - %d;" % (i, -w)
+                      for i, w in enumerate(weights))
+    source = """
+    int apply(int *ws, int n, int x) {
+        dynamicRegion (ws, n) {
+            int t = 0; int i;
+            unrolled for (i = 0; i < n; i++) {
+                t += ws[i] * x;
+            }
+            return t;
+        }
+    }
+    int main(int x) {
+        int ws[%d];
+        %s
+        return apply(ws, %d, x) + apply(ws, %d, x + 1);
+    }
+    """ % (n, inits, n, n)
+    expected, _ = interp_run(source, args=[x])
+    dynamic = compile_program(source, mode="dynamic")
+    result = dynamic.run(args=[x])
+    assert result.value == expected
+    assert len(result.stitch_reports) == 1  # stitched once, reused

@@ -1,0 +1,206 @@
+"""Property-based fuzzing of the full dynamic-compilation pipeline.
+
+Generates random dynamic regions — constant expression DAGs, constant
+and variable branches, unrolled loops over generated tables, keyed
+variants — and checks the central invariant: stitched code computes
+exactly what the reference interpreter computes.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import compile_program
+
+from helpers import interp_run
+
+# -- generators ----------------------------------------------------------------
+
+
+def const_expr(depth):
+    """Expressions over region constants a, b and literals (derivable)."""
+    leaf = st.one_of(
+        st.sampled_from(["a", "b"]),
+        st.integers(min_value=0, max_value=30).map(str),
+    )
+    if depth == 0:
+        return leaf
+    sub = const_expr(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+                  sub).map(lambda t: "(%s %s %s)" % t),
+        st.tuples(sub, st.integers(min_value=0, max_value=6)).map(
+            lambda t: "(%s << %d)" % t),
+    )
+
+
+def var_expr(depth):
+    """Expressions over the variable x and constants c0/c1."""
+    leaf = st.sampled_from(["x", "c0", "c1", "3", "7"])
+    if depth == 0:
+        return leaf
+    sub = var_expr(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, st.sampled_from(["+", "-", "*"]), sub).map(
+            lambda t: "(%s %s %s)" % t),
+    )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    const_expr(2), const_expr(2),
+    st.sampled_from(["c0 > c1", "c0 == c1", "(c0 & 1) != 0", "c1 < 5"]),
+    var_expr(2), var_expr(2),
+    st.integers(min_value=-8, max_value=8),
+    st.integers(min_value=-8, max_value=8),
+    st.integers(min_value=-10, max_value=10),
+)
+def test_random_constant_branch_regions(ce0, ce1, cond, ve_then, ve_else,
+                                        a, b, x):
+    source = """
+    int f(int a, int b, int x) {
+        dynamicRegion (a, b) {
+            int c0 = %s;
+            int c1 = %s;
+            if (%s) return %s;
+            return %s;
+        }
+    }
+    int main(int x) {
+        return f(%d, %d, x) + f(%d, %d, x + 1) * 3;
+    }
+    """ % (ce0, ce1, cond, ve_then, ve_else, a, b, a, b)
+    expected, _ = interp_run(source, args=[x])
+    result = compile_program(source, mode="dynamic").run(args=[x])
+    assert result.value == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.integers(min_value=-6, max_value=6), min_size=1,
+             max_size=5),
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+             max_size=5),
+    st.integers(min_value=-5, max_value=5),
+)
+def test_random_unrolled_table_interpreters(weights, selectors, x):
+    """An unrolled loop switching on per-iteration constants."""
+    n = min(len(weights), len(selectors))
+    init = "\n".join(
+        "    ws[%d] = %d; sel[%d] = %d;" % (i, weights[i], i, selectors[i])
+        for i in range(n))
+    source = """
+    int f(int *ws, int *sel, int n, int x) {
+        dynamicRegion (ws, sel, n) {
+            int t = 0;
+            int i;
+            unrolled for (i = 0; i < n; i++) {
+                switch (sel[i]) {
+                    case 0: t += ws[i] * x; break;
+                    case 1: t += ws[i] + x; break;
+                    case 2: t -= ws[i]; break;
+                    default: t = t ^ ws[i];
+                }
+            }
+            return t;
+        }
+    }
+    int main(int x) {
+        int ws[%d]; int sel[%d];
+    %s
+        return f(ws, sel, %d, x) * 100 + f(ws, sel, %d, x - 1);
+    }
+    """ % (n, n, init, n, n)
+    expected, _ = interp_run(source, args=[x])
+    dynamic = compile_program(source, mode="dynamic").run(args=[x])
+    static = compile_program(source, mode="static").run(args=[x])
+    assert static.value == expected
+    assert dynamic.value == expected
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.integers(min_value=1, max_value=12), min_size=1,
+             max_size=4, unique=True),
+    st.integers(min_value=-4, max_value=4),
+)
+def test_random_keyed_regions(keys, x):
+    calls = "\n".join(
+        "    t += g(%d, x + %d);" % (k, i) for i, k in enumerate(keys))
+    source = """
+    int g(int k, int v) {
+        dynamicRegion key(k) (k) {
+            return v * k + (k & 3);
+        }
+    }
+    int main(int x) {
+        int t = 0;
+    %s
+    %s
+        return t;
+    }
+    """ % (calls, calls)
+    expected, _ = interp_run(source, args=[x])
+    result = compile_program(source, mode="dynamic").run(args=[x])
+    assert result.value == expected
+    assert len(result.stitch_reports) == len(keys)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10),
+       st.integers(min_value=-20, max_value=20))
+def test_random_unroll_counts(n, x):
+    source = """
+    int f(int n, int x) {
+        dynamicRegion (n) {
+            int t = 1;
+            int i;
+            unrolled for (i = 0; i < n; i++) {
+                t = t * 2 + (x & i);
+            }
+            return t;
+        }
+    }
+    int main(int x) { return f(%d, x); }
+    """ % n
+    expected, _ = interp_run(source, args=[x])
+    result = compile_program(source, mode="dynamic").run(args=[x])
+    assert result.value == expected
+    if n > 0:
+        assert result.stitch_reports[0].loop_iterations == {1: n + 1}
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=-30, max_value=30),
+       st.integers(min_value=-30, max_value=30),
+       st.integers(min_value=-30, max_value=30))
+def test_register_actions_fuzz(a, b, x):
+    source = """
+    int f(int c, int x) {
+        int cells[4];
+        dynamicRegion (c) {
+            cells[0] = x + c;
+            cells[1] = cells[0] * 2;
+            cells[2] = cells[1] - cells[0];
+            cells[3] = cells[2] ^ c;
+            return cells[0] + cells[1] + cells[2] + cells[3];
+        }
+    }
+    int main(int x) { return f(%d, x) + f(%d, x + 1); }
+    """ % (a, b if b else 1)
+    # Note: both calls use the same region; keep c identical per the
+    # annotation contract.
+    source = source.replace("f(%d, x + 1)" % (b if b else 1),
+                            "f(%d, x + 1)" % a)
+    expected, _ = interp_run(source, args=[x])
+    plain = compile_program(source, mode="dynamic").run(args=[x])
+    actions = compile_program(source, mode="dynamic",
+                              register_actions=True).run(args=[x])
+    assert plain.value == expected
+    assert actions.value == expected

@@ -1,0 +1,162 @@
+"""User-declared ``pure`` functions as run-time constant derivers."""
+
+import pytest
+
+from repro import compile_program
+from repro.analysis.rtconst import analyze_region
+from repro.frontend.errors import AnnotationError, ParseError
+from repro.ir.ssa import base_name, to_ssa
+
+from helpers import build, run_all_ways
+
+
+def test_pure_keyword_parses():
+    module = build("""
+        pure int square(int x) { return x * x; }
+        int main() { return square(4); }
+    """)
+    assert module.functions["square"]
+
+
+def test_pure_only_on_functions():
+    with pytest.raises(ParseError):
+        build("pure int g; int main() { return 0; }")
+
+
+def test_pure_call_derives_constant():
+    module = build("""
+        pure int square(int x) { return x * x; }
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = square(c);
+                return d + v;
+            }
+        }
+    """)
+    func = module.functions["f"]
+    to_ssa(func)
+    result = analyze_region(func, func.regions[0])
+    assert "d" in {base_name(n) for n in result.const_names}
+
+
+def test_impure_call_does_not_derive():
+    module = build("""
+        int square(int x) { return x * x; }   // not declared pure
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = square(c);
+                return d + v;
+            }
+        }
+    """)
+    func = module.functions["f"]
+    to_ssa(func)
+    result = analyze_region(func, func.regions[0])
+    assert "d" not in {base_name(n) for n in result.const_names}
+
+
+def test_pure_call_hoisted_to_setup_end_to_end():
+    run_all_ways("""
+        pure int cube(int x) { return x * x * x; }
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = cube(c) + 1;
+                return d * v;
+            }
+        }
+        int main() {
+            int t = 0; int i;
+            for (i = 0; i < 6; i++) t += f(3, i);
+            return t;
+        }
+    """)
+
+
+def test_pure_call_executes_once_in_setup():
+    source = """
+    int calls;
+    int observe(int x) { calls = calls + 1; return x; }
+    pure int triple(int x) { return x * 3; }
+    int f(int c, int v) {
+        dynamicRegion (c) {
+            int d = triple(c);
+            return d + v;
+        }
+    }
+    int main() {
+        calls = 0;
+        int t = 0; int i;
+        for (i = 0; i < 10; i++) t += f(7, i);
+        return t;
+    }
+    """
+    dynamic = compile_program(source, mode="dynamic")
+    result = dynamic.run()
+    # triple(7)=21; sum(21+i) = 210 + 45
+    assert result.value == 255
+    # the call moved into set-up code: exactly one jsr to triple runs.
+    setup_instrs = result.instrs_by_owner.get("setup:f:1", 0)
+    assert setup_instrs > 0
+
+
+def test_recursive_pure_function():
+    run_all_ways("""
+        pure int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = fib(c);
+                return d * v;
+            }
+        }
+        int main() { return f(10, 2) + f(10, 3); }
+    """)
+
+
+def test_pure_with_store_rejected():
+    with pytest.raises(AnnotationError):
+        build("""
+            int g;
+            pure int bad(int x) { g = x; return x; }
+            int main() { return bad(1); }
+        """)
+
+
+def test_pure_calling_impure_rejected():
+    with pytest.raises(AnnotationError):
+        build("""
+            int helper(int x) { return x + 1; }
+            pure int bad(int x) { return helper(x); }
+            int main() { return bad(1); }
+        """)
+
+
+def test_pure_with_division_rejected():
+    with pytest.raises(AnnotationError):
+        build("""
+            pure int bad(int x) { return 100 / x; }
+            int main() { return bad(4); }
+        """)
+
+
+def test_pure_calling_pure_builtin_ok():
+    run_all_ways("""
+        pure int clamp(int x) { return imax(0, imin(x, 100)); }
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                return clamp(c) + v;
+            }
+        }
+        int main() { return f(250, 1) * 100 + f(250, 2); }
+    """)
+
+
+def test_pure_prototype_then_definition():
+    module = build("""
+        pure int sq(int x);
+        pure int sq(int x) { return x * x; }
+        int main() { return sq(5); }
+    """)
+    assert module.functions["sq"]

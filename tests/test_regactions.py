@@ -1,0 +1,187 @@
+"""Register-actions (section 5 extension) tests."""
+
+import pytest
+
+from repro import compile_program
+
+from helpers import interp_run
+
+STACK_MACHINE = """
+int run(int *prog, int n, int x) {
+    int stack[8];
+    dynamicRegion (prog, n) {
+        int sp = 0;
+        int pc;
+        unrolled for (pc = 0; pc < n; pc++) {
+            int op = prog[pc * 2];
+            int arg = prog[pc * 2 + 1];
+            switch (op) {
+                case 0: stack[sp] = arg; sp = sp + 1; break;
+                case 1: stack[sp] = x; sp = sp + 1; break;
+                case 2: sp = sp - 1;
+                        stack[sp - 1] = stack[sp - 1] + stack[sp]; break;
+                case 3: sp = sp - 1;
+                        stack[sp - 1] = stack[sp - 1] * stack[sp]; break;
+            }
+        }
+        return stack[sp - 1];
+    }
+}
+
+int main(int x) {
+    int prog[10];
+    prog[0] = 1; prog[1] = 0;    // push x
+    prog[2] = 0; prog[3] = 3;    // push 3
+    prog[4] = 3; prog[5] = 0;    // mul
+    prog[6] = 0; prog[7] = 5;    // push 5
+    prog[8] = 2; prog[9] = 0;    // add  -> 3x + 5
+    int t = 0; int i;
+    for (i = 0; i < 10; i++) t += run(prog, 5, x + i);
+    return t;
+}
+"""
+
+
+def expected_value(x):
+    return sum(3 * (x + i) + 5 for i in range(10))
+
+
+@pytest.fixture(scope="module")
+def programs():
+    plain = compile_program(STACK_MACHINE, mode="dynamic")
+    actions = compile_program(STACK_MACHINE, mode="dynamic",
+                              register_actions=True)
+    return plain, actions
+
+
+def test_results_identical(programs):
+    plain, actions = programs
+    for x in (0, 4, -3, 100):
+        expected = expected_value(x)
+        assert plain.run(args=[x]).value == expected
+        assert actions.run(args=[x]).value == expected
+
+
+def test_elements_promoted(programs):
+    _, actions = programs
+    result = actions.run(args=[2])
+    (report,) = result.stitch_reports
+    stats = report.reg_actions
+    assert stats["elements_promoted"] >= 2
+    assert stats["loads_rewritten"] > 0
+    assert stats["stores_rewritten"] > 0
+    assert stats["addr_calcs_removed"] > 0
+
+
+def test_promotion_reduces_cycles(programs):
+    plain, actions = programs
+    plain_run = plain.run(args=[2])
+    actions_run = actions.run(args=[2])
+    plain_cycles = plain_run.region_cycles("run", 1, "dynamic")["stitched"]
+    action_cycles = actions_run.region_cycles("run", 1, "dynamic")["stitched"]
+    assert action_cycles < plain_cycles
+
+
+def test_promotion_shrinks_code(programs):
+    plain, actions = programs
+    plain_report = plain.run(args=[1]).stitch_reports[0]
+    action_report = actions.run(args=[1]).stitch_reports[0]
+    assert action_report.instrs_emitted < plain_report.instrs_emitted
+
+
+def test_no_promotion_without_flag(programs):
+    plain, _ = programs
+    (report,) = plain.run(args=[1]).stitch_reports
+    assert report.reg_actions == {}
+
+
+def test_candidates_detected(programs):
+    _, actions = programs
+    (region,) = actions.region_codes()
+    assert region.promotable_arrays  # the stack array
+    assert region.free_registers     # reserved by the allocator
+
+
+def test_array_escaping_region_not_promoted():
+    # The array is read after the region: promotion would leave memory
+    # stale, so the array must be disqualified -- and results stay right.
+    source = """
+    int f(int c, int v) {
+        int buffer[4];
+        dynamicRegion (c) {
+            buffer[0] = c * v;
+            buffer[1] = c + v;
+        }
+        return buffer[0] + buffer[1];
+    }
+    int main() { return f(3, 4) + f(3, 5) * 100; }
+    """
+    expected, _ = interp_run(source)
+    program = compile_program(source, mode="dynamic", register_actions=True)
+    result = program.run()
+    assert result.value == expected
+    (region,) = program.region_codes()
+    assert region.promotable_arrays == []
+
+
+def test_variable_index_disqualifies_array():
+    # stack[v] with a run-time variable index cannot be promoted.
+    source = """
+    int f(int c, int v) {
+        int table[4];
+        dynamicRegion (c) {
+            table[v & 3] = c;
+            table[0] = table[0] + c;
+            return table[v & 3] + table[0];
+        }
+    }
+    int main() { return f(5, 0) + f(5, 2); }
+    """
+    expected, _ = interp_run(source)
+    program = compile_program(source, mode="dynamic", register_actions=True)
+    assert program.run().value == expected
+    (region,) = program.region_codes()
+    assert region.promotable_arrays == []
+
+
+def test_float_array_not_promoted():
+    source = """
+    int f(int c, float v) {
+        float acc[2];
+        dynamicRegion (c) {
+            int i;
+            unrolled for (i = 0; i < c; i++) {
+                acc[0] = v * 2.0;
+                acc[1] = acc[0] + v;
+            }
+            return (int)(acc[0] + acc[1]);
+        }
+    }
+    int main() { return f(2, 3.0); }
+    """
+    expected, _ = interp_run(source)
+    program = compile_program(source, mode="dynamic", register_actions=True)
+    assert program.run().value == expected
+    (region,) = program.region_codes()
+    assert region.promotable_arrays == []
+
+
+def test_register_actions_with_keyed_region():
+    source = """
+    int f(int k, int v) {
+        int scratch[2];
+        dynamicRegion key(k) (k) {
+            scratch[0] = v * k;
+            scratch[1] = scratch[0] + k;
+            return scratch[1];
+        }
+    }
+    int main() { return f(2, 10) + f(3, 10) * 1000; }
+    """
+    expected, _ = interp_run(source)
+    program = compile_program(source, mode="dynamic", register_actions=True)
+    result = program.run()
+    assert result.value == expected
+    assert len(result.stitch_reports) == 2
+    for report in result.stitch_reports:
+        assert report.reg_actions.get("elements_promoted", 0) >= 1

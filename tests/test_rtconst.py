@@ -1,0 +1,371 @@
+"""Run-time constants + reachability analysis tests.
+
+Includes the paper's worked examples: the cache lookup (section 2) and
+the unstructured if/switch/goto graph (section 3.1) analysed both with
+``a`` and ``b`` constant and with only ``a`` constant.
+"""
+
+import pytest
+
+from repro.analysis.rtconst import analyze_region
+from repro.frontend.errors import AnnotationError
+from repro.ir.ssa import base_name, to_ssa
+from repro.opt.pipeline import optimize
+
+from helpers import build
+
+
+def analyze(source, func_name="f", optimize_first=True,
+            use_reachability=True):
+    module = build(source)
+    func = module.functions[func_name]
+    to_ssa(func)
+    if optimize_first:
+        optimize(func)
+    region = func.regions[0]
+    return func, analyze_region(func, region,
+                                use_reachability=use_reachability)
+
+
+def const_bases(result):
+    return {base_name(n) for n in result.const_names}
+
+
+# -- basic derivation rules ---------------------------------------------------
+
+
+def test_annotated_variable_is_constant():
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) { return c + v; }
+        }
+    """, optimize_first=False)
+    assert "c" in const_bases(result)
+    assert "v" not in const_bases(result)
+
+
+def test_derived_arithmetic_constant():
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = c * 4 + 1;
+                return d + v;
+            }
+        }
+    """, optimize_first=False)
+    assert "d" in const_bases(result)
+
+
+def test_division_excluded_as_trapping():
+    # The paper excludes / from derivation because it might trap.
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = c / 2;
+                return d + v;
+            }
+        }
+    """, optimize_first=False)
+    assert "d" not in const_bases(result)
+
+
+def test_load_through_constant_pointer():
+    _, result = analyze("""
+        int f(int *c, int v) {
+            dynamicRegion (c) {
+                int d = *c;
+                return d + v;
+            }
+        }
+    """, optimize_first=False)
+    assert "d" in const_bases(result)
+
+
+def test_dynamic_load_not_constant():
+    _, result = analyze("""
+        int f(int *c, int v) {
+            dynamicRegion (c) {
+                int d = dynamic* c;
+                return d + v;
+            }
+        }
+    """, optimize_first=False)
+    assert "d" not in const_bases(result)
+
+
+def test_store_does_not_affect_constants():
+    # Stores have no effect on the constant set (the paper's rule);
+    # re-loading through a constant pointer stays "constant".
+    _, result = analyze("""
+        int f(int *c, int v) {
+            dynamicRegion (c) {
+                int before = *c;
+                *c = v;
+                int after = *c;
+                return before + after;
+            }
+        }
+    """, optimize_first=False)
+    assert "before" in const_bases(result)
+    assert "after" in const_bases(result)
+
+
+def test_pure_call_derives_constant():
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int d = imax(c, 3);
+                return d + v;
+            }
+        }
+    """, optimize_first=False)
+    assert "d" in const_bases(result)
+
+
+def test_impure_call_not_constant():
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int *d = (int*) alloc(c);
+                return (int) d + v;
+            }
+        }
+    """, optimize_first=False)
+    assert "d" not in const_bases(result)
+
+
+def test_frame_address_not_constant():
+    # Stitched code is shared across activations; the frame moves.
+    _, result = analyze("""
+        int f(int c, int v) {
+            int arr[4];
+            dynamicRegion (c) {
+                int *p = arr;
+                return p[c] + v;
+            }
+        }
+    """, optimize_first=False)
+    assert "p" not in const_bases(result)
+
+
+def test_variable_chain_stays_variable():
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int m = v * c;
+                int n = m + 1;
+                return n;
+            }
+        }
+    """, optimize_first=False)
+    assert "m" not in const_bases(result)
+    assert "n" not in const_bases(result)
+
+
+# -- merges -------------------------------------------------------------------
+
+
+def test_constant_merge_under_constant_branch():
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int x;
+                if (c > 0) x = 1; else x = 2;
+                return x + v;
+            }
+        }
+    """)
+    assert "x" in const_bases(result)
+    assert len(result.const_branches) == 1
+
+
+def test_nonconstant_merge_under_variable_branch():
+    _, result = analyze("""
+        int f(int c, int v) {
+            dynamicRegion (c) {
+                int x;
+                if (v > 0) x = 1; else x = 2;
+                return x + c;
+            }
+        }
+    """)
+    assert "x" not in const_bases(result)
+    assert len(result.const_branches) == 0
+
+
+def test_identical_values_constant_even_at_variable_merge():
+    # The non-idempotent phi rule: a phi at a non-constant merge is
+    # still constant when every predecessor delivers the *same*
+    # reaching definition.  Built directly in IR because the optimizer
+    # simplifies such phis away before the analysis sees them.
+    from repro.ir.cfg import DynamicRegionInfo, Function
+    from repro.ir.instructions import (
+        Assign, BinOp, CondBr, Jump, Phi, Return,
+    )
+    from repro.ir.values import IntConst, Temp
+
+    func = Function("f", [Temp("arg_c"), Temp("arg_v")])
+    func.temp_types.update({"arg_c": "int", "arg_v": "int",
+                            "x.3": "int", "d.1": "int", "t.1": "int"})
+    entry = func.new_block("entry")
+    then = func.new_block("then")
+    other = func.new_block("else")
+    join = func.new_block("join")
+    entry.append(Assign(Temp("d.1"), Temp("arg_c")))
+    entry.append(CondBr(Temp("arg_v"), then.name, other.name))
+    then.append(Jump(join.name))
+    other.append(Jump(join.name))
+    join.instrs.append(Phi(Temp("x.3"), {then.name: Temp("d.1"),
+                                         other.name: Temp("d.1")}))
+    join.append(BinOp(Temp("t.1"), "add", Temp("x.3"), Temp("arg_v")))
+    join.append(Return(Temp("t.1")))
+    region = DynamicRegionInfo(
+        region_id=1, const_vars=["arg_c"], key_vars=[],
+        entry=entry.name, exit=join.name,
+        blocks={entry.name, then.name, other.name, join.name},
+        const_temps=[Temp("arg_c")], key_temps=[])
+    func.regions.append(region)
+    result = analyze_region(func, region)
+    assert "x.3" in result.const_names  # same def on both edges
+    assert "t.1" not in result.const_names  # mixes in arg_v
+
+
+# -- the paper's unstructured example ---------------------------------------------
+
+UNSTRUCTURED = """
+int f(int a, int b, int v) {
+    dynamicRegion (%s) {
+        int x = 0;
+        if (a) {
+            x = 1;
+        } else {
+            switch (b) {
+                case 1: x = 2;           // falls through to case 2
+                case 2: x = x + 3; break;
+                case 3: x = 40; goto L;
+                default: x = 8;
+            }
+            x = x + 100;
+        }
+        x = x + 1000;
+    L:
+        return x + v;
+    }
+}
+"""
+
+
+def test_unstructured_both_constant():
+    _, result = analyze(UNSTRUCTURED % "a, b")
+    # Every merge is constant: x survives the fall-through merge, the
+    # switch join, the if/else join and the goto target.
+    assert "x" in const_bases(result)
+    x_versions = {n for n in result.const_names if base_name(n) == "x"}
+    assert len(x_versions) >= 4
+    assert len(result.const_branches) == 2  # the if and the switch
+
+
+def test_unstructured_only_a_constant():
+    func, result = analyze(UNSTRUCTURED % "a")
+    # With b variable, the switch merges are not constant, so the x
+    # reaching L is not constant; only the early versions are.
+    assert len(result.const_branches) == 1
+    ret_block = [b for b in func.blocks.values()
+                 if b.terminator is not None
+                 and "return" in repr(b.terminator)]
+    # x value flowing into the return is no longer constant:
+    final_x = [n for n in result.const_names
+               if base_name(n) == "x"]
+    all_x = [n for n in func.temp_types if base_name(n) == "x"]
+    assert len(final_x) < len(all_x)
+
+
+def test_reachability_ablation():
+    # Without the reachability analysis, even the structured if/else
+    # constant merge is lost (only unrolled headers stay constant).
+    _, with_reach = analyze(UNSTRUCTURED % "a, b", use_reachability=True)
+    _, without = analyze(UNSTRUCTURED % "a, b", use_reachability=False)
+    assert "x" in const_bases(with_reach)
+    with_x = {n for n in with_reach.const_names if base_name(n) == "x"}
+    without_x = {n for n in without.const_names if base_name(n) == "x"}
+    assert without_x < with_x
+
+
+# -- unrolled loops ------------------------------------------------------------------
+
+
+def test_unrolled_induction_variable_constant():
+    _, result = analyze("""
+        int f(int n, int *data) {
+            int t = 0;
+            dynamicRegion (n) {
+                int i;
+                unrolled for (i = 0; i < n; i++) {
+                    t += data dynamic[ i ];
+                }
+                return t;
+            }
+        }
+    """)
+    assert "i" in const_bases(result)
+    assert "t" not in const_bases(result)
+
+
+def test_non_unrolled_induction_variable_not_constant():
+    _, result = analyze("""
+        int f(int n, int *data) {
+            int t = 0;
+            dynamicRegion (n) {
+                int i;
+                for (i = 0; i < n; i++) {
+                    t += data dynamic[ i ];
+                }
+                return t;
+            }
+        }
+    """)
+    assert "i" not in const_bases(result)
+
+
+def test_unrolled_loop_with_variable_bound_rejected():
+    with pytest.raises(AnnotationError):
+        analyze("""
+            int f(int c, int v) {
+                int t = 0;
+                dynamicRegion (c) {
+                    int i;
+                    unrolled for (i = 0; i < v; i++) t += i;
+                    return t + c;
+                }
+            }
+        """)
+
+
+def test_pointer_chasing_unrolled_loop():
+    # The paper's linked-list example: p advances through constant
+    # next pointers; the termination test p != NULL is constant.
+    _, result = analyze("""
+        struct Node { int payload; Node *next; };
+        int f(Node *lst) {
+            int t = 0;
+            dynamicRegion (lst) {
+                Node *p;
+                unrolled for (p = lst; p != 0; p = p->next) {
+                    t += p dynamic-> payload;
+                }
+                return t;
+            }
+        }
+    """)
+    assert "p" in const_bases(result)
+
+
+def test_requires_ssa():
+    module = build("""
+        int f(int c) {
+            dynamicRegion (c) { return c; }
+        }
+    """)
+    func = module.functions["f"]
+    with pytest.raises(ValueError):
+        analyze_region(func, func.regions[0])

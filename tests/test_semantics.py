@@ -1,0 +1,153 @@
+"""Operator semantics unit tests (shared by interpreter, folder, VM)."""
+
+import pytest
+
+from repro.ir.semantics import EvalTrap, eval_binop, eval_unop
+from repro.ir.values import to_unsigned, wrap_int
+
+
+# -- wrapping -------------------------------------------------------------
+
+
+def test_wrap_int_identity_in_range():
+    assert wrap_int(42) == 42
+    assert wrap_int(-42) == -42
+
+
+def test_wrap_int_overflow():
+    assert wrap_int(1 << 63) == -(1 << 63)
+    assert wrap_int((1 << 63) - 1) == (1 << 63) - 1
+    assert wrap_int(1 << 64) == 0
+
+
+def test_to_unsigned():
+    assert to_unsigned(-1) == (1 << 64) - 1
+    assert to_unsigned(5) == 5
+
+
+# -- integer arithmetic ------------------------------------------------------
+
+
+def test_add_wraps():
+    assert eval_binop("add", (1 << 63) - 1, 1) == -(1 << 63)
+
+
+def test_sub_wraps():
+    assert eval_binop("sub", -(1 << 63), 1) == (1 << 63) - 1
+
+
+def test_mul_wraps():
+    assert eval_binop("mul", 1 << 62, 4) == 0
+
+
+def test_signed_division_truncates_toward_zero():
+    assert eval_binop("div", 7, 2) == 3
+    assert eval_binop("div", -7, 2) == -3
+    assert eval_binop("div", 7, -2) == -3
+    assert eval_binop("div", -7, -2) == 3
+
+
+def test_signed_modulo_sign_of_dividend():
+    assert eval_binop("mod", 7, 3) == 1
+    assert eval_binop("mod", -7, 3) == -1
+    assert eval_binop("mod", 7, -3) == 1
+
+
+def test_unsigned_division():
+    assert eval_binop("udiv", -1, 2) == (1 << 63) - 1
+    assert eval_binop("umod", -1, 10) == ((1 << 64) - 1) % 10
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(EvalTrap):
+        eval_binop("div", 1, 0)
+    with pytest.raises(EvalTrap):
+        eval_binop("udiv", 1, 0)
+    with pytest.raises(EvalTrap):
+        eval_binop("mod", 1, 0)
+    with pytest.raises(EvalTrap):
+        eval_binop("umod", 1, 0)
+
+
+def test_float_division_by_zero_traps():
+    with pytest.raises(EvalTrap):
+        eval_binop("fdiv", 1.0, 0.0)
+
+
+# -- shifts --------------------------------------------------------------------
+
+
+def test_shift_left():
+    assert eval_binop("shl", 1, 4) == 16
+
+
+def test_shift_count_masked():
+    assert eval_binop("shl", 1, 64) == 1
+    assert eval_binop("shl", 1, 65) == 2
+
+
+def test_arithmetic_shift_right():
+    assert eval_binop("ashr", -8, 1) == -4
+
+
+def test_logical_shift_right():
+    assert eval_binop("lshr", -8, 1) == ((1 << 64) - 8) >> 1
+
+
+# -- comparisons ----------------------------------------------------------------
+
+
+def test_signed_vs_unsigned_compare():
+    assert eval_binop("lt", -1, 0) == 1
+    assert eval_binop("ult", -1, 0) == 0  # -1 is huge unsigned
+
+
+def test_comparison_results_are_ints():
+    assert eval_binop("eq", 3, 3) == 1
+    assert eval_binop("ne", 3, 3) == 0
+    assert eval_binop("feq", 1.5, 1.5) == 1
+    assert eval_binop("flt", 1.0, 2.0) == 1
+
+
+# -- bitwise --------------------------------------------------------------------
+
+
+def test_bitwise():
+    assert eval_binop("and", 0b1100, 0b1010) == 0b1000
+    assert eval_binop("or", 0b1100, 0b1010) == 0b1110
+    assert eval_binop("xor", 0b1100, 0b1010) == 0b0110
+
+
+# -- unary ----------------------------------------------------------------------
+
+
+def test_neg_wraps():
+    assert eval_unop("neg", -(1 << 63)) == -(1 << 63)
+
+
+def test_logical_not():
+    assert eval_unop("not", 0) == 1
+    assert eval_unop("not", 17) == 0
+
+
+def test_bitwise_not():
+    assert eval_unop("bnot", 0) == -1
+
+
+def test_conversions():
+    assert eval_unop("itof", 3) == 3.0
+    assert eval_unop("ftoi", 3.9) == 3
+    assert eval_unop("ftoi", -3.9) == -3  # truncation toward zero
+
+
+def test_float_arithmetic():
+    assert eval_binop("fadd", 1.5, 2.5) == 4.0
+    assert eval_binop("fmul", 2.0, 3.0) == 6.0
+    assert eval_binop("fdiv", 7.0, 2.0) == 3.5
+
+
+def test_unknown_ops_raise():
+    with pytest.raises(ValueError):
+        eval_binop("frobnicate", 1, 2)
+    with pytest.raises(ValueError):
+        eval_unop("frobnicate", 1)

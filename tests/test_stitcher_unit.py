@@ -1,0 +1,216 @@
+"""Stitcher-internals tests: reports, directive counts, error paths,
+label resolution, branch elision, the linearized constants pool."""
+
+import pytest
+
+from repro import compile_program
+from repro.dynamic.stitcher import MAX_UNROLL, StitchError, StitchReport
+from repro.machine.costs import FUSED_STITCHER, StitcherCosts
+from repro.machine.loader import load_program
+from repro.machine.vm import VM
+from repro.runtime.engine import _RegionRuntime
+
+
+def stitch_and_inspect(source, args=None, **compile_kwargs):
+    """Compile dynamically, run on a persistent VM, return
+    (program, vm, reports, run_value)."""
+    program = compile_program(source, mode="dynamic", **compile_kwargs)
+    vm = VM()
+    program.layout.write_into(vm)
+    load_program(vm, program.compiled)
+    runtime = _RegionRuntime(program, vm)
+    vm.rt_handlers["region_lookup"] = runtime.lookup
+    vm.rt_handlers["region_stitch"] = runtime.stitch
+    preload = [(16 + i, v) for i, v in enumerate(args or [])]
+    value, _ = vm.run(program.compiled["main"].base, preload)
+    return program, vm, runtime.reports, value
+
+
+SIMPLE = """
+int f(int c, int v) {
+    dynamicRegion (c) {
+        int d = c * 5 + 2;
+        return d + v;
+    }
+}
+int main() { return f(8, 1) + f(8, 2); }
+"""
+
+
+def test_stitched_code_installed_after_functions(      ):
+    program, vm, reports, value = stitch_and_inspect(SIMPLE)
+    (report,) = reports
+    function_end = max(fn.base + len(fn.code)
+                       for fn in program.compiled.values())
+    assert report.entry >= function_end
+    assert value == 43 + 44  # d = 8*5+2 = 42, plus v = 1 and 2
+
+
+def test_branch_targets_resolved_absolutely():
+    program, vm, reports, _ = stitch_and_inspect(SIMPLE)
+    (report,) = reports
+    for instr in vm.code[report.entry:]:
+        if instr.op in ("br", "beq", "bne"):
+            assert 0 <= instr.target < len(vm.code)
+
+
+def test_directive_count_includes_start_end():
+    _, _, reports, _ = stitch_and_inspect(SIMPLE)
+    (report,) = reports
+    # START + END + at least one HOLE
+    assert report.directives >= 3
+
+
+def test_cycles_match_cost_model():
+    costs = StitcherCosts()
+    _, _, reports, _ = stitch_and_inspect(SIMPLE, stitcher_costs=costs)
+    (report,) = reports
+    expected = (
+        costs.per_region
+        + report.directives * costs.per_directive
+        + report.instrs_emitted * costs.per_instr_copied
+        + report.holes_patched * costs.per_hole
+        + report.branch_fixups * costs.per_branch_fixup
+        + report.pool_entries * costs.per_pool_entry
+        + report.records_followed * costs.per_loop_record
+        + sum(report.peepholes.values()) * costs.per_peephole
+    )
+    assert report.cycles == expected
+
+
+def test_fused_costs_cheaper():
+    _, _, reports_a, _ = stitch_and_inspect(SIMPLE)
+    _, _, reports_b, _ = stitch_and_inspect(
+        SIMPLE, stitcher_costs=FUSED_STITCHER)
+    assert reports_b[0].cycles < reports_a[0].cycles
+    assert reports_b[0].instrs_emitted == reports_a[0].instrs_emitted
+
+
+def test_large_constant_goes_to_pool():
+    source = """
+    int f(int c, int v) {
+        dynamicRegion (c) {
+            int big = c * 100000;
+            return big + v;      // big = 7 billion-ish, not imm16
+        }
+    }
+    int main() { return f(70000, 1) == 7000000001; }
+    """
+    program, vm, reports, value = stitch_and_inspect(source)
+    (report,) = reports
+    assert value == 1
+    assert report.pool_entries >= 1
+    # the pool value is in data memory at pool_base
+    pool_values = [vm.memory[report.pool_base + i]
+                   for i in range(report.pool_entries)]
+    assert 7000000000 in pool_values
+
+
+def test_float_constants_always_pooled():
+    source = """
+    float f(float c, float v) {
+        dynamicRegion (c) {
+            float d = c + c;
+            return d * v;
+        }
+    }
+    int main() { return (int) f(1.25, 4.0); }
+    """
+    _, vm, reports, value = stitch_and_inspect(source)
+    (report,) = reports
+    assert value == 10
+    assert report.pool_entries >= 1
+    assert vm.memory[report.pool_base] == 2.5
+
+
+def test_branch_to_next_instruction_elided():
+    # Straight-line region: the jump joining consecutive blocks should
+    # be removed by the stitcher's layout pass.
+    source = """
+    int f(int c, int v) {
+        dynamicRegion (c) {
+            int d = c * 3;
+            v = v + d;
+            v = v * 2;
+            return v;
+        }
+    }
+    int main() { return f(2, 1); }
+    """
+    _, vm, reports, value = stitch_and_inspect(source)
+    (report,) = reports
+    assert value == 14
+    code = vm.code[report.entry:]
+    # only the final exit branch remains
+    branch_count = sum(1 for i in code if i.op == "br")
+    assert branch_count <= 1
+
+
+def test_broken_record_chain_raises():
+    from repro.codegen.objects import RegionCode
+    from repro.dynamic.table import LoopPlan, TablePlan
+
+    program = compile_program("""
+        int f(int n, int *xs) {
+            int t = 0;
+            dynamicRegion (n) {
+                int i;
+                unrolled for (i = 0; i < n; i++) t += xs dynamic[ i ];
+                return t;
+            }
+        }
+        int main() { int xs[3]; xs[0]=1; xs[1]=2; xs[2]=3;
+                     return f(3, xs); }
+    """, mode="dynamic")
+    vm = VM()
+    program.layout.write_into(vm)
+    load_program(vm, program.compiled)
+    region = program.region_codes()[0]
+    # Hand the stitcher a table whose loop head pointer is null.
+    table_addr = vm.alloc(region.table.top_size)
+    from repro.dynamic.stitcher import Stitcher
+    stitcher = Stitcher(vm, program.compiled["f"], region, table_addr,
+                        StitcherCosts())
+    with pytest.raises(StitchError):
+        stitcher.stitch()
+
+
+def test_report_optimizations_shape():
+    report = StitchReport("f", 1)
+    opts = report.optimizations_applied()
+    assert set(opts) == {
+        "constant_folding", "static_branch_elimination",
+        "dead_code_elimination", "complete_loop_unrolling",
+        "strength_reduction",
+    }
+    assert not any(opts.values())
+
+
+def test_stitch_once_then_cache_hit():
+    program, vm, reports, _ = stitch_and_inspect(SIMPLE)
+    assert len(reports) == 1  # second call hit the cache
+    # dispatch owner saw two lookups
+    assert vm.instrs_by_owner.get("dispatch:f:1", 0) > 0
+
+
+def test_peephole_toggle_respected():
+    costs = StitcherCosts()
+    costs.enable_peepholes = False
+    source = """
+    int f(int c, int v) {
+        dynamicRegion (c) { return v * c; }
+    }
+    int main() { return f(8, 5); }
+    """
+    _, _, reports, value = stitch_and_inspect(source, stitcher_costs=costs)
+    assert value == 40
+    assert reports[0].peepholes == {}
+    _, _, reports2, _ = stitch_and_inspect(source)
+    assert "mul_to_shift" in reports2[0].peepholes
+
+
+def test_owner_tagging_of_stitched_code():
+    _, vm, reports, _ = stitch_and_inspect(SIMPLE)
+    (report,) = reports
+    for instr in vm.code[report.entry:]:
+        assert instr.owner == "stitched:f:1"

@@ -1,0 +1,60 @@
+"""Run-time constants table plan unit tests."""
+
+from repro.dynamic.table import LoopPlan, TablePlan
+
+
+def make_plan():
+    plan = TablePlan(region_id=1)
+    plan.slots = {"c0": 0, "c1": 1}
+    outer = LoopPlan(loop_id=1, header="H1", latch="L1", entry_pred="E",
+                     body=["H1", "B1", "L1"], parent=None, head_slot=2,
+                     predicate="p1")
+    outer.slots = {"i": 1, "w": 2}
+    inner = LoopPlan(loop_id=2, header="H2", latch="L2", entry_pred="B1",
+                     body=["H2", "B2", "L2"], parent=1, predicate="p2")
+    inner.slots = {"j": 1}
+    outer.inner_head_slots[2] = 3
+    inner.head_slot = 3
+    plan.loops = {1: outer, 2: inner}
+    plan.top_size = 3
+    return plan
+
+
+def test_slot_of_top_level():
+    plan = make_plan()
+    assert plan.slot_of("c0") == (None, 0)
+    assert plan.slot_of("c1") == (None, 1)
+
+
+def test_slot_of_iteration_constant():
+    plan = make_plan()
+    assert plan.slot_of("i") == (1, 1)
+    assert plan.slot_of("j") == (2, 1)
+
+
+def test_slot_of_predicate_is_record_zero():
+    plan = make_plan()
+    assert plan.slot_of("p1") == (1, 0)
+    assert plan.slot_of("p2") == (2, 0)
+
+
+def test_slot_of_unknown():
+    plan = make_plan()
+    assert plan.slot_of("ghost") is None
+
+
+def test_record_size_counts_all_parts():
+    plan = make_plan()
+    outer = plan.loops[1]
+    # predicate + 2 constants + 1 nested head + next pointer
+    assert outer.record_size == 5
+    assert outer.next_offset == 4
+    inner = plan.loops[2]
+    assert inner.record_size == 3  # predicate + j + next
+    assert inner.next_offset == 2
+
+
+def test_loop_of_header():
+    plan = make_plan()
+    assert plan.loop_of_header("H2").loop_id == 2
+    assert plan.loop_of_header("nope") is None

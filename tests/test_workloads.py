@@ -1,0 +1,164 @@
+"""Benchmark-workload builder tests.
+
+Each builder's MiniC source must compute exactly what its Python
+reference computes, in every execution mode.
+"""
+
+import pytest
+
+from repro import compile_program
+from repro.bench.workloads import (
+    PAPER_EXPRESSION, Workload, all_workloads, calculator_workload,
+    compile_rpn, event_dispatcher_workload, make_guards, make_records,
+    make_sparse_matrix, record_sorter_workload, rpn_reference,
+    scalar_matrix_workload, sparse_matvec_workload,
+)
+
+from helpers import interp_run
+
+
+def check_workload(workload: Workload) -> None:
+    value, _ = interp_run(workload.source)
+    assert value == workload.expected, (
+        "%s: interpreter %r != reference %r"
+        % (workload.name, value, workload.expected))
+    dynamic = compile_program(workload.source, mode="dynamic").run()
+    assert dynamic.value == workload.expected
+
+
+# -- RPN calculator -------------------------------------------------------
+
+
+def test_rpn_reference_matches_expression():
+    for x in (-2, 0, 1, 5):
+        for y in (-1, 0, 3):
+            expected = (x * y - 3 * y * y - x * x
+                        + (x + 5) * (y - x) + x + y - 1)
+            assert rpn_reference(PAPER_EXPRESSION, x, y) == expected
+
+
+def test_compile_rpn_emits_pairs():
+    text = compile_rpn([(1, 0), (0, 42)])
+    assert "prog[0] = 1;" in text
+    assert "prog[3] = 42;" in text
+
+
+def test_calculator_workload_small():
+    check_workload(calculator_workload(xs=4, ys=4))
+
+
+def test_calculator_executions_metadata():
+    workload = calculator_workload(xs=3, ys=5)
+    assert workload.executions == 15
+    assert workload.unit == "interpretations"
+
+
+# -- scalar-matrix ------------------------------------------------------------
+
+
+def test_scalar_matrix_workload_small():
+    check_workload(scalar_matrix_workload(rows=4, cols=6, scalars=5))
+
+
+def test_scalar_matrix_units():
+    workload = scalar_matrix_workload(rows=4, cols=6, scalars=5)
+    assert workload.units_per_execution == 24.0
+    assert workload.executions == 5
+
+
+# -- sparse ---------------------------------------------------------------------
+
+
+def test_make_sparse_matrix_structure():
+    rowptr, colidx, values = make_sparse_matrix(10, 3, seed=5)
+    assert len(rowptr) == 11
+    assert rowptr[0] == 0 and rowptr[-1] == 30
+    assert len(colidx) == len(values) == 30
+    for r in range(10):
+        row_cols = colidx[rowptr[r]:rowptr[r + 1]]
+        assert row_cols == sorted(row_cols)
+        assert len(set(row_cols)) == 3
+        assert all(0 <= c < 10 for c in row_cols)
+
+
+def test_make_sparse_matrix_deterministic():
+    assert make_sparse_matrix(8, 2, seed=9) == make_sparse_matrix(8, 2,
+                                                                  seed=9)
+    assert make_sparse_matrix(8, 2, seed=9) != make_sparse_matrix(8, 2,
+                                                                  seed=10)
+
+
+def test_sparse_workload_small():
+    check_workload(sparse_matvec_workload(size=8, per_row=3, reps=3))
+
+
+# -- dispatcher -------------------------------------------------------------------
+
+
+def test_make_guards_handlers_are_distinct_bits():
+    guards = make_guards(6)
+    handlers = [g[2] for g in guards]
+    assert handlers == [1, 2, 4, 8, 16, 32]
+
+
+def test_dispatcher_workload_small():
+    check_workload(event_dispatcher_workload(nguards=5, events=25))
+
+
+# -- sorter -----------------------------------------------------------------------
+
+
+def test_make_records_shape():
+    records = make_records(7, fields=3, seed=1)
+    assert len(records) == 7
+    assert all(len(r) == 3 for r in records)
+    assert all(-25 <= v < 25 for r in records for v in r)
+
+
+def test_sorter_one_key_small():
+    check_workload(record_sorter_workload(count=20, keys=[(0, 0)]))
+
+
+def test_sorter_descending_key():
+    check_workload(record_sorter_workload(count=20, keys=[(1, 1)]))
+
+
+def test_sorter_magnitude_key():
+    check_workload(record_sorter_workload(count=20, keys=[(0, 2)]))
+
+
+def test_sorter_multi_key():
+    check_workload(record_sorter_workload(
+        count=20, keys=[(3, 1), (1, 0), (0, 2)]))
+
+
+def test_sorter_actually_sorts():
+    workload = record_sorter_workload(count=15, keys=[(0, 0)])
+    # patch main to print the first field of each sorted record
+    source = workload.source.replace(
+        "print_int(nCompares);",
+        "for (i = 0; i < n; i++) print_int(recs[i][0]);")
+    _, output = interp_run(source)
+    fields = output[:15]
+    assert fields == sorted(fields)
+
+
+# -- the full set ------------------------------------------------------------------
+
+
+def test_all_workloads_cover_the_paper_rows():
+    workloads = all_workloads()
+    names = [w.name for w in workloads]
+    assert names.count("record sorter") == 2
+    assert names.count("sparse matrix-vector multiply") == 2
+    assert "calculator" in names
+    assert "scalar-matrix multiply" in names
+    assert "event dispatcher" in names
+    assert len(workloads) == 7
+
+
+def test_workload_scaling():
+    small = all_workloads(scale=0.5)
+    default = all_workloads(scale=1.0)
+    assert len(small) == len(default)
+    assert small[0].executions < default[0].executions
