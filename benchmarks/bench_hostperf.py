@@ -1,0 +1,181 @@
+"""Host wall-clock benchmark for the Table 2 workloads.
+
+Unlike the cycle-accurate Table 2/3 benches (which measure *simulated*
+cycles), this script measures how long the host takes to run the
+reproduction itself: static-pipeline compile time, first run (VM build
++ load + stitch), and steady-state repeat runs of the same
+:class:`~repro.runtime.engine.Program`.  It seeds and extends the
+repo's host-performance trajectory in ``BENCH_hostperf.json``.
+
+The JSON file keeps two snapshots:
+
+* ``baseline`` -- the numbers recorded the first time the script ran
+  (the pre-optimization state).  Never overwritten unless the file is
+  deleted or ``--rebaseline`` is passed.
+* ``current``  -- the numbers from the latest invocation, plus
+  ``speedup_vs_baseline`` ratios (baseline seconds / current seconds).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hostperf.py           # full
+    PYTHONPATH=src python benchmarks/bench_hostperf.py --quick   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any(Path(p).resolve() == REPO_ROOT / "src"
+           for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.workloads import (  # noqa: E402
+    calculator_workload, event_dispatcher_workload, record_sorter_workload,
+    scalar_matrix_workload, sparse_matvec_workload,
+)
+from repro.runtime.engine import compile_program  # noqa: E402
+
+OUTPUT_PATH = REPO_ROOT / "BENCH_hostperf.json"
+
+#: name -> zero-argument builder, in Table 2 row order.
+WORKLOADS: List[Tuple[str, Callable]] = [
+    ("calculator", calculator_workload),
+    ("scalar_matrix", scalar_matrix_workload),
+    ("sparse_matvec_large",
+     lambda: sparse_matvec_workload(size=24, per_row=5)),
+    ("sparse_matvec_small",
+     lambda: sparse_matvec_workload(size=12, per_row=3)),
+    ("event_dispatcher", event_dispatcher_workload),
+    ("record_sorter_1key",
+     lambda: record_sorter_workload(keys=[(0, 0)])),
+    ("record_sorter_2key",
+     lambda: record_sorter_workload(keys=[(2, 1), (0, 2)])),
+]
+
+QUICK_WORKLOADS = {"calculator", "sparse_matvec_small"}
+
+
+def bench_workload(name: str, builder: Callable,
+                   steady_runs: int) -> Dict[str, object]:
+    workload = builder()
+    t0 = time.perf_counter()
+    program = compile_program(workload.source, mode="dynamic")
+    compile_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    first = program.run()
+    first_run_s = time.perf_counter() - t0
+    if workload.expected is not None and first.value != workload.expected:
+        raise AssertionError("%s: result %d != expected %d"
+                             % (name, first.value, workload.expected))
+
+    steady_samples: List[float] = []
+    for _ in range(steady_runs):
+        t0 = time.perf_counter()
+        result = program.run()
+        steady_samples.append(time.perf_counter() - t0)
+        if result.value != first.value or result.cycles != first.cycles:
+            raise AssertionError(
+                "%s: nondeterministic rerun (value %r/%r, cycles %d/%d)"
+                % (name, first.value, result.value,
+                   first.cycles, result.cycles))
+
+    return {
+        "compile_s": round(compile_s, 6),
+        "first_run_s": round(first_run_s, 6),
+        "steady_run_s": round(min(steady_samples), 6),
+        "simulated_cycles": first.cycles,
+        "config": workload.config,
+    }
+
+
+def run_suite(quick: bool, steady_runs: int) -> Dict[str, Dict[str, object]]:
+    rows: Dict[str, Dict[str, object]] = {}
+    for name, builder in WORKLOADS:
+        if quick and name not in QUICK_WORKLOADS:
+            continue
+        rows[name] = bench_workload(name, builder, steady_runs)
+        print("%-22s compile %7.3fs  first %7.3fs  steady %7.3fs"
+              % (name, rows[name]["compile_s"], rows[name]["first_run_s"],
+                 rows[name]["steady_run_s"]))
+    return rows
+
+
+def speedups(baseline: Dict[str, Dict[str, object]],
+             current: Dict[str, Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for name, row in current.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        ratios = {}
+        for metric in ("compile_s", "first_run_s", "steady_run_s"):
+            cur = float(row[metric])
+            if cur > 0 and metric in base:
+                ratios[metric.replace("_s", "")] = round(
+                    float(base[metric]) / cur, 3)
+        out[name] = ratios
+    return out
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: two workloads, one steady run")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="steady-state repetitions (best-of)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="overwrite the recorded baseline")
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    args = parser.parse_args(argv)
+
+    steady_runs = 1 if args.quick else max(1, args.runs)
+    current = run_suite(args.quick, steady_runs)
+
+    existing: Dict[str, object] = {}
+    if args.output.exists():
+        existing = json.loads(args.output.read_text())
+    baseline = existing.get("baseline")
+    if args.rebaseline or not baseline:
+        baseline = current
+    if args.quick and existing.get("current"):
+        # Don't clobber a full run's numbers with a smoke subset.
+        merged = dict(existing["current"])
+        merged.update(current)
+        current_out = merged
+    else:
+        current_out = current
+
+    payload = {
+        "schema": 1,
+        "note": "host wall-clock seconds; simulated cycles are "
+                "mode-independent observables",
+        "meta": {
+            "python": platform.python_version(),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "steady_runs": steady_runs,
+            "quick": args.quick,
+        },
+        "baseline": baseline,
+        "current": current_out,
+        "speedup_vs_baseline": speedups(baseline, current_out),
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+    print("wrote %s" % args.output)
+    for name, ratios in payload["speedup_vs_baseline"].items():
+        if "steady_run" in ratios:
+            print("  %-22s steady-state speedup vs baseline: %.2fx"
+                  % (name, ratios["steady_run"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

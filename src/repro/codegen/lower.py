@@ -33,7 +33,7 @@ from ..machine.isa import (
 )
 from .objects import (
     BranchFixup, CompiledFunction, ElementAction, HoleDirective, RegionCode,
-    TemplateBlock, TermInfo,
+    TemplateBlock, TermInfo, linearize_region,
 )
 from .regalloc import Allocation, allocate
 from ..machine.isa import INT_ALLOCATABLE
@@ -711,6 +711,7 @@ class FunctionLowerer:
         # safe for the stitcher to write: an unused pool register may
         # hold a *caller's* live value.
         region_code.free_registers = list(self.action_regs)
+        linearize_region(region_code)
         return region_code
 
     def _external_label(self, name: str, plan: RegionPlan) -> str:

@@ -95,6 +95,35 @@ class ElementAction:
 
 
 @dataclass
+class LinearTemplate:
+    """A template block pre-linearized for the copy-and-patch stitcher.
+
+    Walking a template at stitch time used to classify every offset
+    against the hole/fixup/action directive lists and clone every
+    instruction.  Linearization does that classification once, at
+    ``lower_module`` time, producing a flat item tuple the stitcher
+    replays with an array copy plus O(holes) patch work.  Item shapes
+    (first element is the discriminant):
+
+    * ``(0, instrs, tagged)`` -- a run of directive-free instructions,
+      pre-cloned with the region's stitched owner.  These carry no
+      label and no extra, and the VM never mutates installed
+      instructions, so every stitch of the region shares the same
+      objects (the "copy" of copy-and-patch is a list extend).
+      ``tagged`` holds ``(index_in_run, action)`` register-action tags.
+    * ``(1, instr, hole, action)`` -- a HOLE site; the stitcher patches
+      a per-stitch copy with the run-time constant.
+    * ``(2, proto, label, action)`` -- a BRANCH fixup; the stitcher
+      clones ``proto`` and resolves ``label`` per stitch.
+    * ``(3, proto, action)`` -- an instruction with a symbolic label or
+      extra payload but no fixup (e.g. a ``jsr func:NAME``): cloned per
+      stitch because finalization patches its target in place.
+    """
+
+    items: Tuple[tuple, ...] = ()
+
+
+@dataclass
 class TemplateBlock:
     """Machine-code template for one region block."""
 
@@ -104,6 +133,53 @@ class TemplateBlock:
     fixups: List[BranchFixup] = field(default_factory=list)
     term: TermInfo = field(default_factory=lambda: TermInfo("fallthrough"))
     actions: List[ElementAction] = field(default_factory=list)
+    #: Filled in by :func:`linearize_block` (lazily for hand-built
+    #: blocks in tests; eagerly by ``lower_module`` for real regions).
+    linear: Optional[LinearTemplate] = None
+
+
+def linearize_block(block: TemplateBlock, owner: str) -> LinearTemplate:
+    """Pre-classify a template block's offsets into stitcher items."""
+    holes = {h.offset: h for h in block.holes}
+    fixups = {f.offset: f for f in block.fixups}
+    actions = {a.offset: a for a in block.actions}
+    items: List[tuple] = []
+    run: List[MInstr] = []
+    run_tags: List[Tuple[int, ElementAction]] = []
+
+    def flush() -> None:
+        if run:
+            items.append((0, tuple(run), tuple(run_tags)))
+            del run[:]
+            del run_tags[:]
+
+    for offset, instr in enumerate(block.instrs):
+        action = actions.get(offset)
+        hole = holes.get(offset)
+        if hole is not None:
+            flush()
+            items.append((1, instr, hole, action))
+            continue
+        fixup = fixups.get(offset)
+        if fixup is not None:
+            flush()
+            proto = instr.copy()
+            proto.owner = owner
+            items.append((2, proto, fixup.label, action))
+            continue
+        if instr.label is not None or instr.extra is not None:
+            flush()
+            proto = instr.copy()
+            proto.owner = owner
+            items.append((3, proto, action))
+            continue
+        clone = instr.copy()
+        clone.owner = owner
+        if action is not None:
+            run_tags.append((len(run), action))
+        run.append(clone)
+    flush()
+    return LinearTemplate(items=tuple(items))
 
 
 @dataclass
@@ -130,6 +206,13 @@ class RegionCode:
 
     def loop_of_header(self, name: str):
         return self.table.loop_of_header(name)
+
+
+def linearize_region(region: RegionCode) -> None:
+    """Pre-linearize every template block of a region (idempotent)."""
+    owner = "stitched:%s:%d" % (region.func_name, region.region_id)
+    for block in region.blocks.values():
+        block.linear = linearize_block(block, owner)
 
 
 @dataclass

@@ -37,38 +37,59 @@ def _two_bits(value: int) -> Optional[Tuple[int, int]]:
     return high, low
 
 
+def _reduce_udiv(rd: int, ra: int, value: int) -> Optional[Rewrite]:
+    if value == 1:
+        return [MInstr("mov", rd=rd, ra=ra)], "div_to_shift"
+    shift = _power_of_two(value)
+    if shift is not None:
+        return [MInstr("srl", rd=rd, ra=ra, imm=shift)], "div_to_shift"
+    return None
+
+
+def _reduce_urem(rd: int, ra: int, value: int) -> Optional[Rewrite]:
+    if value == 1:
+        return [MInstr("lda", rd=rd, ra=ZERO, imm=0)], "mod_to_and"
+    shift = _power_of_two(value)
+    if shift is not None and value - 1 <= 0x7FFF:
+        return [MInstr("and", rd=rd, ra=ra, imm=value - 1)], "mod_to_and"
+    return None
+
+
+def _zero_is_identity(rd: int, ra: int, value: int) -> Optional[Rewrite]:
+    if value == 0:
+        return [MInstr("mov", rd=rd, ra=ra)], "identity"
+    return None
+
+
+def _zero_annihilates(rd: int, ra: int, value: int) -> Optional[Rewrite]:
+    if value == 0:
+        return [MInstr("lda", rd=rd, ra=ZERO, imm=0)], "identity"
+    return None
+
+
+_REDUCERS = {
+    "mulq": None,  # filled below; _reduce_mul is defined after this table
+    "udivq": _reduce_udiv,
+    "uremq": _reduce_urem,
+    "addq": _zero_is_identity,
+    "subq": _zero_is_identity,
+    "bis": _zero_is_identity,
+    "xor": _zero_is_identity,
+    "and": _zero_annihilates,
+    "sll": _zero_is_identity,
+    "srl": _zero_is_identity,
+    "sra": _zero_is_identity,
+}
+
+
 def reduce_alu(instr: MInstr, value: int) -> Optional[Rewrite]:
     """Strength-reduce ``instr`` (immediate form) given its constant
     operand ``value``.  Register fields are preserved; SCRATCH2 may be
     used for intermediates (it is reserved for the stitcher)."""
-    op, rd, ra = instr.op, instr.rd, instr.ra
-    if op == "mulq":
-        return _reduce_mul(rd, ra, value)
-    if op == "udivq":
-        if value == 1:
-            return [MInstr("mov", rd=rd, ra=ra)], "div_to_shift"
-        shift = _power_of_two(value)
-        if shift is not None:
-            return ([MInstr("srl", rd=rd, ra=ra, imm=shift)],
-                    "div_to_shift")
+    reducer = _REDUCERS.get(instr.op)
+    if reducer is None:
         return None
-    if op == "uremq":
-        if value == 1:
-            return [MInstr("lda", rd=rd, ra=ZERO, imm=0)], "mod_to_and"
-        shift = _power_of_two(value)
-        if shift is not None and value - 1 <= 0x7FFF:
-            return ([MInstr("and", rd=rd, ra=ra, imm=value - 1)],
-                    "mod_to_and")
-        return None
-    if op in ("addq", "subq") and value == 0:
-        return [MInstr("mov", rd=rd, ra=ra)], "identity"
-    if op in ("bis", "xor") and value == 0:
-        return [MInstr("mov", rd=rd, ra=ra)], "identity"
-    if op == "and" and value == 0:
-        return [MInstr("lda", rd=rd, ra=ZERO, imm=0)], "identity"
-    if op in ("sll", "srl", "sra") and value == 0:
-        return [MInstr("mov", rd=rd, ra=ra)], "identity"
-    return None
+    return reducer(instr.rd, instr.ra, value)
 
 
 def _reduce_mul(rd: int, ra: int, value: int) -> Optional[Rewrite]:
@@ -104,3 +125,6 @@ def _reduce_mul(rd: int, ra: int, value: int) -> Optional[Rewrite]:
             "mul_to_shift_sub",
         )
     return None
+
+
+_REDUCERS["mulq"] = _reduce_mul

@@ -28,7 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..codegen.objects import CompiledFunction, RegionCode, TemplateBlock
+from ..codegen.objects import (
+    CompiledFunction, RegionCode, TemplateBlock, linearize_block,
+)
 from ..machine.costs import StitcherCosts
 from ..machine.isa import CPOOL, MInstr, SCRATCH2, ZERO, fits_imm
 from .peephole import reduce_alu
@@ -266,37 +268,64 @@ class Stitcher:
     def _emit_block(self, block_name: str, env: Env) -> None:
         template = self.region.blocks[block_name]
         label = self.emitted[(block_name, env)]
-        self.labels[label] = len(self.out)
-        holes = {h.offset: h for h in template.holes}
-        fixups = {f.offset: f for f in template.fixups}
-        actions = {a.offset: a for a in template.actions} \
-            if self.register_actions else {}
-        for offset, instr in enumerate(template.instrs):
-            hole = holes.get(offset)
-            fixup = fixups.get(offset)
-            action = actions.get(offset)
-            out_start = len(self.out)
-            if hole is not None:
+        out = self.out
+        self.labels[label] = len(out)
+        linear = template.linear
+        if linear is None:
+            # Hand-assembled template (unit tests): linearize on first
+            # use and cache the result on the block.
+            linear = template.linear = linearize_block(template, self.owner)
+        report = self.report
+        tagging = self.register_actions
+        for item in linear.items:
+            kind = item[0]
+            if kind == 0:  # shared run: the "copy" of copy-and-patch
+                instrs = item[1]
+                out_base = len(out)
+                out.extend(instrs)
+                report.instrs_emitted += len(instrs)
+                if tagging:
+                    for run_index, action in item[2]:
+                        self._tag(out_base + run_index, action, env)
+            elif kind == 1:  # hole: patch a fresh copy
+                _, instr, hole, action = item
+                out_start = len(out)
                 self._emit_patched(instr, hole, env)
-            else:
-                clone = instr.copy()
-                clone.owner = self.owner
-                if fixup is not None:
-                    clone.label = self._resolve_target(fixup.label, env,
-                                                       block_name)
-                    self.report.branch_fixups += 1
-                    self.report.directives += 1  # BRANCH
-                self.out.append(clone)
-                self.report.instrs_emitted += 1
-            if action is not None and len(self.out) == out_start + 1:
-                if action.slot is not None:
-                    element = int(self._slot_value(tuple(action.slot), env))
-                else:
-                    element = action.const_index
-                self.out_tags[out_start] = (action, element)
+                # An action only survives on 1:1 emission (a hole that
+                # expanded into a pool load + use cannot be rewritten).
+                if tagging and action is not None \
+                        and len(out) == out_start + 1:
+                    self._tag(out_start, action, env)
+            elif kind == 2:  # branch fixup: clone + per-stitch label
+                _, proto, fix_label, action = item
+                clone = proto.copy()
+                clone.label = self._resolve_target(fix_label, env,
+                                                   block_name)
+                report.branch_fixups += 1
+                report.directives += 1  # BRANCH
+                out_start = len(out)
+                out.append(clone)
+                report.instrs_emitted += 1
+                if tagging and action is not None:
+                    self._tag(out_start, action, env)
+            else:  # symbolic label/extra: private copy, patched later
+                _, proto, action = item
+                out_start = len(out)
+                out.append(proto.copy())
+                report.instrs_emitted += 1
+                if tagging and action is not None:
+                    self._tag(out_start, action, env)
         term = template.term
         if term.kind == "const_branch":
             self._emit_const_branch(block_name, template, env)
+
+    def _tag(self, out_index: int, action, env: Env) -> None:
+        """Record a register-action tag for the instruction just emitted."""
+        if action.slot is not None:
+            element = int(self._slot_value(tuple(action.slot), env))
+        else:
+            element = action.const_index
+        self.out_tags[out_index] = (action, element)
 
     def _emit_const_branch(self, block_name: str, template: TemplateBlock,
                            env: Env) -> None:

@@ -107,6 +107,20 @@ def eval_binop(op: str, lhs: Number, rhs: Number) -> Number:
     raise ValueError("unknown binary operator %r" % op)
 
 
+def binop_impl(op: str) -> Callable[..., Number]:
+    """The concrete implementation behind one binary operator.
+
+    For callers that resolve dispatch once and apply many times (the
+    VM's predecoded instruction handlers).  Integer operators expect
+    ``int`` arguments and float operators ``float`` arguments -- the
+    caller performs the coercion :func:`eval_binop` would do.
+    """
+    fn = _INT_BIN.get(op) or _FLOAT_BIN.get(op)
+    if fn is None:
+        raise ValueError("unknown binary operator %r" % op)
+    return fn
+
+
 def eval_unop(op: str, value: Number) -> Number:
     """Apply a unary IR operator to a concrete value."""
     if op == "neg":

@@ -119,7 +119,17 @@ FUSED_STITCHER = StitcherCosts(
 )
 
 
+#: Fallback cost for unknown runtime services.
+RT_DEFAULT_CYCLES = 20
+
+# Bound-method lookups hoisted out of op_cost: it runs once per
+# installed instruction, which includes every stitched instruction of
+# every dynamic-region compile.
+_RT_GET = RT_CYCLES.get
+_OP_GET = OP_CYCLES.get
+
+
 def op_cost(op: str, rt_name: str = "") -> int:
     if op == "call_rt":
-        return RT_CYCLES.get(rt_name, 20)
-    return OP_CYCLES.get(op, 1)
+        return _RT_GET(rt_name, RT_DEFAULT_CYCLES)
+    return _OP_GET(op, 1)

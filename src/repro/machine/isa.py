@@ -97,6 +97,16 @@ FALU_OPS: Dict[str, str] = {
     "cmpteq": "feq", "cmptne": "fne", "cmptlt": "flt", "cmptle": "fle",
 }
 
+#: Opcodes that write an integer/float destination register (``rd``).
+#: The VM's predecoder uses this to special-case writes to the
+#: architecturally-zero register and to the stack pointer.
+RD_WRITING_OPS = frozenset(
+    list(ALU_OPS) + list(FALU_OPS) + [
+        "lda", "ldih", "ldq", "ldt", "mov", "fmov",
+        "negq", "fneg", "ornot", "cvtqt", "cvttq",
+    ]
+)
+
 #: All opcodes, for validation.
 OPCODES = frozenset(
     list(ALU_OPS) + list(FALU_OPS) + [
@@ -152,9 +162,20 @@ class MInstr:
         self.cost: int = 1  # filled in when code is installed
 
     def copy(self) -> "MInstr":
-        clone = MInstr(self.op, self.rd, self.ra, self.rb, self.imm,
-                       self.label, self.name, self.extra, self.owner)
+        # The stitcher clones template instructions on every stitch;
+        # bypassing __init__ roughly halves the cost of a copy.
+        clone = MInstr.__new__(MInstr)
+        clone.op = self.op
+        clone.rd = self.rd
+        clone.ra = self.ra
+        clone.rb = self.rb
+        clone.imm = self.imm
+        clone.label = self.label
+        clone.name = self.name
+        clone.extra = self.extra
+        clone.owner = self.owner
         clone.target = self.target
+        clone.cost = self.cost
         return clone
 
     def __repr__(self) -> str:

@@ -9,14 +9,21 @@ from .vm import VM, VMError
 
 
 def load_program(vm: VM, compiled: Dict[str, CompiledFunction]) -> None:
-    """Install every function's code and resolve branch/call targets.
+    """Install every function's code and resolve branch/call targets."""
+    for function in compiled.values():
+        function.base = vm.install_code(function.code)
+    resolve_program(compiled)
+
+
+def resolve_program(compiled: Dict[str, CompiledFunction]) -> None:
+    """Resolve branch/call targets against installed function bases.
 
     Intra-function labels resolve against the function's own label
     table; ``func:NAME`` labels (calls) resolve to the entry of the
-    named function.
+    named function.  Resolution is idempotent, so a program whose
+    functions keep their bases (a cached VM being re-used) can skip
+    it entirely.
     """
-    for function in compiled.values():
-        function.base = vm.install_code(function.code)
     for function in compiled.values():
         for instr in function.code:
             if instr.op == "jtab" and isinstance(instr.extra, tuple) \

@@ -6,6 +6,28 @@ its cost-model cycles, attributed to the *owner* tag of the code it
 belongs to (function body, region set-up code, stitched region code...),
 which is what the measurement harness reads to reproduce Table 2.
 
+Execution fast path
+-------------------
+
+Instructions are *predecoded* when installed: :meth:`VM.install_code`
+resolves each :class:`MInstr` into a specialized closure with its
+operands, cycle cost, owner counters and opcode counter pre-bound
+(immediate and register ALU forms get distinct handlers), stored in a
+``handlers`` list parallel to ``code``.  The interpreter loop is then
+threaded dispatch -- ``pc = handlers[pc](pc)`` -- instead of an
+opcode-comparison chain with four accounting dict lookups per
+instruction.  Branch targets (``instr.target`` / ``instr.extra``) are
+still read at execution time because the loader and the stitcher
+resolve labels *after* installing code.
+
+Accounting is kept in per-owner and per-opcode counter cells (plain
+lists, mutated in place by the handlers); ``cycles``,
+``cycles_by_owner``, ``instrs_by_owner`` and ``op_counts`` are
+reconstructed from the cells on access, bit-identical to what the
+per-instruction dict updates used to produce.  The simulated cost
+model is therefore completely independent of the host-side speed of
+the dispatch implementation.
+
 Runtime services (``call_rt``) cover allocation, printing, the pure
 math builtins, and the two dynamic-compilation hooks
 (``region_lookup`` / ``region_stitch``) that the runtime engine
@@ -16,11 +38,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from ..ir.semantics import EvalTrap, eval_binop
+from ..ir.semantics import EvalTrap, binop_impl
 from ..ir.values import wrap_int
 from .costs import op_cost
 from .isa import (
-    ALU_OPS, ARG_BASE, FALU_OPS, FREG_BASE, FRV, MInstr, RA, RV, SP, ZERO,
+    ALU_OPS, ARG_BASE, FALU_OPS, FREG_BASE, FRV, MInstr, RA,
+    RD_WRITING_OPS, RV, SP, ZERO,
 )
 
 Number = Union[int, float]
@@ -41,6 +64,11 @@ _PURE_SIGS: Dict[str, Tuple[str, str]] = {
 
 _RETURN_SENTINEL = -2
 
+#: One predecoded instruction: takes its own pc, returns the next pc.
+Handler = Callable[[int], int]
+
+_ZERO_PAGE = [0] * 256
+
 
 class VM:
     """A complete machine: code memory, data memory, registers."""
@@ -51,33 +79,99 @@ class VM:
                  max_cycles: int = 4_000_000_000):
         self.memory: List[Number] = [0] * memory_words
         self.code: List[MInstr] = []
+        #: predecoded handlers, parallel to ``code``.
+        self.handlers: List[Handler] = []
         self.regs: List[Number] = [0] * 64
-        self.cycles = 0
-        self.max_cycles = max_cycles
-        self.cycles_by_owner: Dict[str, int] = {}
-        self.instrs_by_owner: Dict[str, int] = {}
-        #: executed-instruction histogram by opcode (cost-model input).
-        self.op_counts: Dict[str, int] = {}
+        # Accounting lives in single-element list cells so predecoded
+        # handlers can mutate them without attribute lookups; the
+        # public counters are reconstructed by the properties below.
+        self._cyc = [0]
+        self._maxc = [max_cycles]
+        #: owner -> [cycles, instrs, charged?] (charged? marks owners
+        #: touched by charge() so zero-cycle charges still surface).
+        self._owner_cells: Dict[str, List] = {}
+        #: opcode -> [executed count].
+        self._op_cells: Dict[str, List[int]] = {}
         self.output: List[Number] = []
-        self.heap_next = self.HEAP_BASE
+        self._heap = [self.HEAP_BASE]
         #: name -> handler(vm, instr) -> int result for r0.
         self.rt_handlers: Dict[str, Callable[["VM", MInstr], int]] = {}
-        self._steps = 0
+        # Dirty-state tracking so a VM can be reset for re-runs without
+        # rebuilding the (multi-megaword) memory list: min/max store
+        # address below the heap, the low-water mark of the stack
+        # pointer, and 256-word pages of stores that fall between the
+        # heap frontier and the stack (out-of-bounds writes).
+        self._dirty_low = [memory_words, -1]
+        self._min_sp = [memory_words - 8]
+        self._stray_pages: set = set()
+
+    # -- accounting views --------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self._cyc[0]
+
+    @property
+    def max_cycles(self) -> int:
+        return self._maxc[0]
+
+    @max_cycles.setter
+    def max_cycles(self, value: int) -> None:
+        self._maxc[0] = value
+
+    @property
+    def heap_next(self) -> int:
+        return self._heap[0]
+
+    @heap_next.setter
+    def heap_next(self, value: int) -> None:
+        self._heap[0] = value
+
+    @property
+    def cycles_by_owner(self) -> Dict[str, int]:
+        return {owner: cell[0] for owner, cell in self._owner_cells.items()
+                if cell[1] or cell[2]}
+
+    @property
+    def instrs_by_owner(self) -> Dict[str, int]:
+        return {owner: cell[1] for owner, cell in self._owner_cells.items()
+                if cell[1]}
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        """Executed-instruction histogram by opcode (cost-model input)."""
+        return {op: cell[0] for op, cell in self._op_cells.items()
+                if cell[0]}
+
+    def _owner_cell(self, owner: str) -> List:
+        cell = self._owner_cells.get(owner)
+        if cell is None:
+            cell = self._owner_cells[owner] = [0, 0, False]
+        return cell
+
+    def _op_cell(self, op: str) -> List[int]:
+        cell = self._op_cells.get(op)
+        if cell is None:
+            cell = self._op_cells[op] = [0]
+        return cell
 
     # -- code & memory -----------------------------------------------------
 
     def install_code(self, instrs: List[MInstr]) -> int:
-        """Append resolved code; returns its base address."""
+        """Append resolved code (predecoding it); returns its base."""
         base = len(self.code)
+        code = self.code
+        handlers = self.handlers
         for instr in instrs:
             instr.cost = op_cost(instr.op, instr.name or "")
-            self.code.append(instr)
+            code.append(instr)
+            handlers.append(_predecode(self, instr))
         return base
 
     def alloc(self, words: int) -> int:
-        addr = self.heap_next
-        self.heap_next += max(1, words)
-        if self.heap_next >= len(self.memory) - (1 << 16):
+        addr = self._heap[0]
+        self._heap[0] = addr + max(1, words)
+        if self._heap[0] >= len(self.memory) - (1 << 16):
             raise VMError("heap exhausted")
         return addr
 
@@ -90,15 +184,74 @@ class VM:
         if not 0 <= addr < len(self.memory):
             raise VMError("store to wild address %#x" % addr)
         self.memory[addr] = value
+        self._note_store(addr)
+
+    def _note_store(self, addr: int) -> None:
+        """Track a store for reset_for_rerun (mirrors the handlers)."""
+        if addr >= self.HEAP_BASE:
+            if addr >= self._heap[0] and addr < self._min_sp[0]:
+                self._stray_pages.add(addr >> 8)
+        else:
+            low = self._dirty_low
+            if addr < low[0]:
+                low[0] = addr
+            if addr > low[1]:
+                low[1] = addr
 
     def charge(self, owner: str, cycles: int, instrs: int = 0) -> None:
         """Attribute synthetic work (e.g. the stitcher's) to ``owner``."""
-        self.cycles += cycles
-        self.cycles_by_owner[owner] = \
-            self.cycles_by_owner.get(owner, 0) + cycles
+        cell = self._owner_cell(owner)
+        self._cyc[0] += cycles
+        cell[0] += cycles
+        cell[2] = True
         if instrs:
-            self.instrs_by_owner[owner] = \
-                self.instrs_by_owner.get(owner, 0) + instrs
+            cell[1] += instrs
+
+    # -- re-run support ----------------------------------------------------
+
+    def reset_for_rerun(self, code_len: int) -> None:
+        """Restore pristine post-install state without rebuilding memory.
+
+        Truncates run-time-installed code (stitched regions) back to
+        ``code_len``, zeroes registers and accounting, and zeroes
+        exactly the memory previous runs touched: the heap up to its
+        high-water mark, the stack below its low-water mark, tracked
+        low-memory stores, and any stray out-of-range store pages.
+        The caller re-applies its initial data image afterwards.
+        """
+        del self.code[code_len:]
+        del self.handlers[code_len:]
+        regs = self.regs
+        for i in range(64):
+            regs[i] = 0
+        self._cyc[0] = 0
+        for cell in self._owner_cells.values():
+            cell[0] = 0
+            cell[1] = 0
+            cell[2] = False
+        for op_cell in self._op_cells.values():
+            op_cell[0] = 0
+        self.output = []
+        memory = self.memory
+        words = len(memory)
+        low = self._dirty_low
+        if low[1] >= low[0]:
+            memory[low[0]:low[1] + 1] = [0] * (low[1] + 1 - low[0])
+            low[0] = words
+            low[1] = -1
+        heap_top = self._heap[0]
+        if heap_top > self.HEAP_BASE:
+            memory[self.HEAP_BASE:heap_top] = \
+                [0] * (heap_top - self.HEAP_BASE)
+        self._heap[0] = self.HEAP_BASE
+        stack_low = self._min_sp[0]
+        if stack_low < words:
+            memory[stack_low:] = [0] * (words - stack_low)
+            self._min_sp[0] = words - 8
+        for page in self._stray_pages:
+            start = page << 8
+            memory[start:start + 256] = _ZERO_PAGE
+        self._stray_pages.clear()
 
     # -- execution ------------------------------------------------------------
 
@@ -110,111 +263,23 @@ class VM:
         (argument passing).  Returns ``(r0, f0)``.
         """
         regs = self.regs
-        memory = self.memory
-        code = self.code
         for reg, value in int_args or []:
             regs[reg] = value
-        regs[SP] = len(memory) - 8
+        regs[SP] = len(self.memory) - 8
         regs[RA] = _RETURN_SENTINEL
         regs[ZERO] = 0
+        handlers = self.handlers
         pc = entry
-        cycles_by_owner = self.cycles_by_owner
-        instrs_by_owner = self.instrs_by_owner
-        op_counts = self.op_counts
-        alu = ALU_OPS
-        falu = FALU_OPS
-        while pc != _RETURN_SENTINEL:
-            if not 0 <= pc < len(code):
-                raise VMError("pc out of range: %d" % pc)
-            instr = code[pc]
-            op = instr.op
-            self.cycles += instr.cost
-            owner = instr.owner
-            cycles_by_owner[owner] = \
-                cycles_by_owner.get(owner, 0) + instr.cost
-            instrs_by_owner[owner] = instrs_by_owner.get(owner, 0) + 1
-            op_counts[op] = op_counts.get(op, 0) + 1
-            if self.cycles > self.max_cycles:
-                raise VMError("cycle budget exceeded")
-            pc += 1
-            if op == "ldq" or op == "ldt":
-                addr = int(regs[instr.ra]) + instr.imm
-                if not 0 <= addr < len(memory):
-                    raise VMError("load from wild address %#x at pc %d"
-                                  % (addr, pc - 1))
-                regs[instr.rd] = memory[addr]
-            elif op == "stq" or op == "stt":
-                addr = int(regs[instr.ra]) + instr.imm
-                if not 0 <= addr < len(memory):
-                    raise VMError("store to wild address %#x at pc %d"
-                                  % (addr, pc - 1))
-                memory[addr] = regs[instr.rb]
-            elif op == "lda":
-                regs[instr.rd] = wrap_int(int(regs[instr.ra]) + instr.imm)
-            elif op == "ldih":
-                regs[instr.rd] = wrap_int(
-                    (int(regs[instr.rd]) << 16) | (instr.imm & 0xFFFF))
-            elif op in alu:
-                rhs = regs[instr.rb] if instr.rb is not None else instr.imm
-                try:
-                    regs[instr.rd] = eval_binop(alu[op], int(regs[instr.ra]),
-                                                int(rhs))
-                except EvalTrap as trap:
-                    raise VMError("arithmetic trap at pc %d: %s"
-                                  % (pc - 1, trap))
-            elif op == "mov" or op == "fmov":
-                regs[instr.rd] = regs[instr.ra]
-            elif op == "br":
-                pc = instr.target
-            elif op == "beq":
-                if regs[instr.ra] == 0:
-                    pc = instr.target
-            elif op == "bne":
-                if regs[instr.ra] != 0:
-                    pc = instr.target
-            elif op == "jtab":
-                targets, default = instr.extra  # resolved by the loader
-                index = int(regs[instr.ra]) - instr.imm
-                if 0 <= index < len(targets):
-                    pc = targets[index]
-                else:
-                    pc = default
-            elif op in falu:
-                try:
-                    regs[instr.rd] = eval_binop(
-                        falu[op], float(regs[instr.ra]),
-                        float(regs[instr.rb]))
-                except EvalTrap as trap:
-                    raise VMError("float trap at pc %d: %s" % (pc - 1, trap))
-            elif op == "negq":
-                regs[instr.rd] = wrap_int(-int(regs[instr.ra]))
-            elif op == "ornot":
-                regs[instr.rd] = wrap_int(~int(regs[instr.ra]))
-            elif op == "fneg":
-                regs[instr.rd] = -float(regs[instr.ra])
-            elif op == "cvtqt":
-                regs[instr.rd] = float(int(regs[instr.ra]))
-            elif op == "cvttq":
-                regs[instr.rd] = wrap_int(int(float(regs[instr.ra])))
-            elif op == "jsr":
-                regs[RA] = pc
-                pc = instr.target
-            elif op == "ret":
-                pc = int(regs[RA])
-            elif op == "jmp":
-                pc = int(regs[instr.ra])
-            elif op == "call_rt":
-                self._call_rt(instr)
-            elif op == "halt":
-                break
-            elif op == "nop":
-                pass
-            else:
-                raise VMError("unknown opcode %r at pc %d" % (op, pc - 1))
-            regs[ZERO] = 0
-        int_result = int(regs[RV])
-        float_result = float(regs[FRV]) if isinstance(regs[FRV], float) else 0.0
-        return int_result, float_result
+        if pc != _RETURN_SENTINEL and not 0 <= pc < len(handlers):
+            raise VMError("pc out of range: %d" % pc)
+        try:
+            while pc != _RETURN_SENTINEL:
+                pc = handlers[pc](pc)
+        except IndexError:
+            if 0 <= pc < len(handlers):
+                raise  # a genuine IndexError inside a runtime service
+            raise VMError("pc out of range: %d" % pc) from None
+        return int(regs[RV]), float(regs[FRV])
 
     def _call_rt(self, instr: MInstr) -> None:
         name = instr.name or ""
@@ -244,3 +309,401 @@ class VM:
             regs[RV] = self.rt_handlers[name](self, instr)
         else:
             raise VMError("unknown runtime call %r" % name)
+
+
+def _predecode(vm: VM, instr: MInstr) -> Handler:
+    """Specialize one installed instruction into a threaded handler.
+
+    Every handler charges its pre-bound cost to the pre-bound owner and
+    opcode cells, checks the cycle budget, performs the operation and
+    returns the next pc.  Control-flow handlers read ``instr.target``
+    and ``instr.extra`` at execution time -- the loader and the
+    stitcher patch those fields after installation.
+    """
+    op = instr.op
+    regs = vm.regs
+    memory = vm.memory
+    memlen = len(memory)
+    cyc = vm._cyc
+    maxc = vm._maxc
+    ocell = vm._owner_cell(instr.owner)
+    opcell = vm._op_cell(op)
+    cost = instr.cost
+    rd = instr.rd
+    ra = instr.ra
+    rb = instr.rb
+    imm = instr.imm
+
+    if op == "ldq" or op == "ldt":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            addr = int(regs[ra]) + imm
+            if not 0 <= addr < memlen:
+                raise VMError("load from wild address %#x at pc %d"
+                              % (addr, pc))
+            regs[rd] = memory[addr]
+            return pc + 1
+
+    elif op == "stq" or op == "stt":
+        heap = vm._heap
+        min_sp = vm._min_sp
+        dirty_low = vm._dirty_low
+        strays = vm._stray_pages
+        heap_base = VM.HEAP_BASE
+
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            addr = int(regs[ra]) + imm
+            if not 0 <= addr < memlen:
+                raise VMError("store to wild address %#x at pc %d"
+                              % (addr, pc))
+            memory[addr] = regs[rb]
+            if addr >= heap_base:
+                if addr >= heap[0] and addr < min_sp[0]:
+                    strays.add(addr >> 8)
+            else:
+                if addr < dirty_low[0]:
+                    dirty_low[0] = addr
+                if addr > dirty_low[1]:
+                    dirty_low[1] = addr
+            return pc + 1
+
+    elif op == "lda":
+        if ra == ZERO:
+            # Constant materialization: the immediate always fits.
+            def handler(pc: int) -> int:
+                total = cyc[0] + cost
+                cyc[0] = total
+                ocell[0] += cost
+                ocell[1] += 1
+                opcell[0] += 1
+                if total > maxc[0]:
+                    raise VMError("cycle budget exceeded")
+                regs[rd] = imm
+                return pc + 1
+        else:
+            def handler(pc: int) -> int:
+                total = cyc[0] + cost
+                cyc[0] = total
+                ocell[0] += cost
+                ocell[1] += 1
+                opcell[0] += 1
+                if total > maxc[0]:
+                    raise VMError("cycle budget exceeded")
+                regs[rd] = wrap_int(int(regs[ra]) + imm)
+                return pc + 1
+
+    elif op == "ldih":
+        imm16 = imm & 0xFFFF
+
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[rd] = wrap_int((int(regs[rd]) << 16) | imm16)
+            return pc + 1
+
+    elif op in ALU_OPS:
+        fn = binop_impl(ALU_OPS[op])
+        if rb is not None:
+            def handler(pc: int) -> int:
+                total = cyc[0] + cost
+                cyc[0] = total
+                ocell[0] += cost
+                ocell[1] += 1
+                opcell[0] += 1
+                if total > maxc[0]:
+                    raise VMError("cycle budget exceeded")
+                try:
+                    regs[rd] = fn(int(regs[ra]), int(regs[rb]))
+                except EvalTrap as trap:
+                    raise VMError("arithmetic trap at pc %d: %s"
+                                  % (pc, trap))
+                return pc + 1
+        else:
+            def handler(pc: int) -> int:
+                total = cyc[0] + cost
+                cyc[0] = total
+                ocell[0] += cost
+                ocell[1] += 1
+                opcell[0] += 1
+                if total > maxc[0]:
+                    raise VMError("cycle budget exceeded")
+                try:
+                    regs[rd] = fn(int(regs[ra]), imm)
+                except EvalTrap as trap:
+                    raise VMError("arithmetic trap at pc %d: %s"
+                                  % (pc, trap))
+                return pc + 1
+
+    elif op in FALU_OPS:
+        fn = binop_impl(FALU_OPS[op])
+
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            try:
+                regs[rd] = fn(float(regs[ra]), float(regs[rb]))
+            except EvalTrap as trap:
+                raise VMError("float trap at pc %d: %s" % (pc, trap))
+            return pc + 1
+
+    elif op == "mov" or op == "fmov":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[rd] = regs[ra]
+            return pc + 1
+
+    elif op == "br":
+        def handler(pc: int, i: MInstr = instr) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            target = i.target
+            if target < 0:
+                raise VMError("pc out of range: %d" % target)
+            return target
+
+    elif op == "beq" or op == "bne":
+        taken_if_zero = op == "beq"
+
+        def handler(pc: int, i: MInstr = instr) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            if (regs[ra] == 0) == taken_if_zero:
+                target = i.target
+                if target < 0:
+                    raise VMError("pc out of range: %d" % target)
+                return target
+            return pc + 1
+
+    elif op == "jtab":
+        def handler(pc: int, i: MInstr = instr) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            targets, default = i.extra  # resolved by the loader
+            index = int(regs[ra]) - imm
+            if 0 <= index < len(targets):
+                target = targets[index]
+            else:
+                target = default
+            if target < 0:
+                raise VMError("pc out of range: %d" % target)
+            return target
+
+    elif op == "negq":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[rd] = wrap_int(-int(regs[ra]))
+            return pc + 1
+
+    elif op == "ornot":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[rd] = wrap_int(~int(regs[ra]))
+            return pc + 1
+
+    elif op == "fneg":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[rd] = -float(regs[ra])
+            return pc + 1
+
+    elif op == "cvtqt":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[rd] = float(int(regs[ra]))
+            return pc + 1
+
+    elif op == "cvttq":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[rd] = wrap_int(int(float(regs[ra])))
+            return pc + 1
+
+    elif op == "jsr":
+        def handler(pc: int, i: MInstr = instr) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            regs[RA] = pc + 1
+            target = i.target
+            if target < 0:
+                raise VMError("pc out of range: %d" % target)
+            return target
+
+    elif op == "ret":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            target = int(regs[RA])
+            if target < 0 and target != _RETURN_SENTINEL:
+                raise VMError("pc out of range: %d" % target)
+            return target
+
+    elif op == "jmp":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            target = int(regs[ra])
+            if target < 0 and target != _RETURN_SENTINEL:
+                raise VMError("pc out of range: %d" % target)
+            return target
+
+    elif op == "call_rt":
+        call_rt = vm._call_rt
+
+        def handler(pc: int, i: MInstr = instr) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            call_rt(i)
+            return pc + 1
+
+    elif op == "halt":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            return _RETURN_SENTINEL
+
+    elif op == "nop":
+        def handler(pc: int) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            return pc + 1
+
+    else:
+        # Unknown opcodes fault at execution time (not install time),
+        # after charging, exactly like the interpretive loop did.
+        def handler(pc: int, i: MInstr = instr) -> int:
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            raise VMError("unknown opcode %r at pc %d" % (i.op, pc))
+
+    if rd is not None and op in RD_WRITING_OPS:
+        if rd == ZERO:
+            # r31 reads as zero: perform the operation (traps and
+            # memory faults still fire) but discard the result.
+            inner = handler
+
+            def handler(pc: int) -> int:
+                next_pc = inner(pc)
+                regs[ZERO] = 0
+                return next_pc
+        elif rd == SP:
+            # Track the stack low-water mark for reset_for_rerun.
+            inner_sp = handler
+            min_sp = vm._min_sp
+
+            def handler(pc: int) -> int:
+                next_pc = inner_sp(pc)
+                value = int(regs[SP])
+                if value < min_sp[0]:
+                    min_sp[0] = value
+                return next_pc
+
+    return handler

@@ -95,6 +95,14 @@ class Program:
         self.stitcher_costs = stitcher_costs
         self.opt_stats = opt_stats or {}
         self.register_actions = register_actions
+        # Cached VM for repeated runs: building a multi-megaword memory
+        # image and re-installing/re-resolving the code dominates the
+        # host cost of short executions.  The cache holds the VM plus
+        # the static code length so run-time-stitched code can be
+        # truncated away before the next run.
+        self._vm: Optional[VM] = None
+        self._vm_words = 0
+        self._vm_code_len = 0
 
     # -- introspection ------------------------------------------------------
 
@@ -112,12 +120,33 @@ class Program:
 
     # -- execution ------------------------------------------------------------
 
+    def _acquire_vm(self, memory_words: int, max_cycles: int) -> VM:
+        """A loaded VM: the cached one reset in place, or a fresh one.
+
+        A reset VM keeps its memory list, installed static code and
+        predecoded handlers; only state the previous run dirtied is
+        restored (and ``write_into`` re-applies the initial data
+        image), so repeated ``run`` calls skip the dominant set-up
+        cost.  Function bases are unchanged across reuse, so symbol
+        resolution is skipped too.
+        """
+        vm = self._vm
+        if vm is not None and self._vm_words == memory_words:
+            vm.reset_for_rerun(self._vm_code_len)
+            vm.max_cycles = max_cycles
+        else:
+            vm = VM(memory_words=memory_words, max_cycles=max_cycles)
+            load_program(vm, self.compiled)
+            self._vm = vm
+            self._vm_words = memory_words
+            self._vm_code_len = len(vm.code)
+        self.layout.write_into(vm)
+        return vm
+
     def run(self, func: str = "main", args: Optional[List[Number]] = None,
             max_cycles: int = 4_000_000_000,
             memory_words: int = 1 << 22) -> RunResult:
-        vm = VM(memory_words=memory_words, max_cycles=max_cycles)
-        self.layout.write_into(vm)
-        load_program(vm, self.compiled)
+        vm = self._acquire_vm(memory_words, max_cycles)
         runtime = _RegionRuntime(self, vm)
         vm.rt_handlers["region_lookup"] = runtime.lookup
         vm.rt_handlers["region_stitch"] = runtime.stitch

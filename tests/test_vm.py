@@ -127,6 +127,37 @@ def test_conversions():
     assert fval == 3.0
 
 
+def test_float_return_coerces_int_value():
+    # cvtqt always produces a Python float, but fmov (and preloaded
+    # arguments) can leave an int in f0; the run result must still be
+    # the float value, not 0.0.
+    vm, (_, fval) = run_instrs([
+        MInstr("lda", rd=1, ra=ZERO, imm=4),
+        MInstr("fmov", rd=FREG_BASE, ra=1),
+        MInstr("ret"),
+    ])
+    assert fval == 4.0
+    assert isinstance(fval, float)
+
+
+def test_float_return_from_cvtqt():
+    vm, (_, fval) = run_instrs([
+        MInstr("lda", rd=1, ra=ZERO, imm=-7),
+        MInstr("cvtqt", rd=FREG_BASE, ra=1),
+        MInstr("ret"),
+    ])
+    assert fval == -7.0
+    assert isinstance(fval, float)
+
+
+def test_float_return_from_preloaded_register():
+    vm = VM()
+    entry = vm.install_code([MInstr("ret")])
+    _, fval = vm.run(entry, [(FREG_BASE, 9)])  # int preload into f0
+    assert fval == 9.0
+    assert isinstance(fval, float)
+
+
 def test_zero_register_reads_zero():
     vm, (result, _) = run_instrs([
         MInstr("lda", rd=ZERO, ra=ZERO, imm=55),  # write ignored
@@ -183,6 +214,46 @@ def test_charge_synthetic_cycles():
     vm.charge("stitcher:f:1", 500)
     assert vm.cycles == 500
     assert vm.cycles_by_owner["stitcher:f:1"] == 500
+
+
+def test_reset_for_rerun_restores_pristine_state():
+    vm = VM()
+    entry = vm.install_code([
+        MInstr("lda", rd=1, ra=ZERO, imm=99),
+        MInstr("stq", rb=1, ra=ZERO, imm=0x2000),     # low-memory store
+        MInstr("lda", rd=ARG_BASE, ra=ZERO, imm=4),
+        MInstr("call_rt", name="alloc"),
+        MInstr("stq", rb=1, ra=RV, imm=0),            # heap store
+        MInstr("lda", rd=SP, ra=SP, imm=-8),
+        MInstr("stq", rb=1, ra=SP, imm=0),            # stack store
+        MInstr("call_rt", name="print_int"),
+        MInstr("mov", rd=RV, ra=1),
+        MInstr("ret"),
+    ])
+    code_len = len(vm.code)
+    first = vm.run(entry)
+    first_cycles = vm.cycles
+    first_owners = dict(vm.cycles_by_owner)
+    heap_addr = VM.HEAP_BASE
+    stack_addr = len(vm.memory) - 16  # sp after the frame push
+    assert vm.memory[0x2000] == 99
+    assert vm.memory[heap_addr] == 99
+    assert vm.memory[stack_addr] == 99
+
+    vm.reset_for_rerun(code_len)
+    assert vm.cycles == 0
+    assert vm.cycles_by_owner == {}
+    assert vm.op_counts == {}
+    assert vm.output == []
+    assert vm.memory[0x2000] == 0
+    assert vm.memory[heap_addr] == 0
+    assert vm.memory[stack_addr] == 0
+    assert all(r == 0 for r in vm.regs)
+    assert vm.heap_next == VM.HEAP_BASE
+
+    assert vm.run(entry) == first
+    assert vm.cycles == first_cycles
+    assert dict(vm.cycles_by_owner) == first_owners
 
 
 def test_runtime_alloc():
