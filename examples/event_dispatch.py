@@ -13,12 +13,20 @@ This example also shows re-specialization: installing a new guard set
 means entering the region with new constants (here modelled by a keyed
 region on a configuration epoch).
 
-Run:  python examples/event_dispatch.py
+Run:  python examples/event_dispatch.py [--seed N]
+
+With ``--seed`` the guard sets installed in each epoch are drawn from
+one ``random.Random(seed)`` stream, so any configuration is
+reproducible from that single number; without it the historical fixed
+guards are used.
 """
+
+import argparse
+import random
 
 from repro import compile_program
 
-SOURCE = """
+SOURCE_TEMPLATE = """
 int guards[30];
 
 // guard record: [kind, argument, handler-bit]
@@ -52,32 +60,65 @@ void install(int i, int kind, int arg, int handler) {
 
 int main() {
     // epoch 1: three guards
-    install(0, 0, 7, 1);     // event[0] == 7
-    install(1, 1, 3, 2);     // event[1] > 3
-    install(2, 3, 0, 4);     // wildcard
+%(epoch1)s
     int event[3];
     int total = 0;
     int e;
     for (e = 0; e < 200; e++) {
-        event[0] = e % 16; event[1] = (e * 7) % 16; event[2] = e % 8;
+        event[0] = e %% 16; event[1] = (e * 7) %% 16; event[2] = e %% 8;
         total += dispatch(guards, 3, event, 1);
     }
     // a kernel extension installs two more guards: re-specialize
-    install(3, 2, 5, 8);     // event[2] & 5
-    install(4, 0, 12, 16);   // event[0] == 12
+%(epoch2)s
     for (e = 0; e < 200; e++) {
-        event[0] = e % 16; event[1] = (e * 7) % 16; event[2] = e % 8;
+        event[0] = e %% 16; event[1] = (e * 7) %% 16; event[2] = e %% 8;
         total += dispatch(guards, 5, event, 2);
     }
     return total;
 }
 """
 
+#: the historical fixed configuration: (slot, kind, arg, handler-bit).
+DEFAULT_EPOCH1 = [(0, 0, 7, 1), (1, 1, 3, 2), (2, 3, 0, 4)]
+DEFAULT_EPOCH2 = [(3, 2, 5, 8), (4, 0, 12, 16)]
+
+
+def guard_sets(seed):
+    """The guard predicates each epoch installs -- i.e. which keyed
+    region versions get stitched.  One rng drives both epochs."""
+    if seed is None:
+        return DEFAULT_EPOCH1, DEFAULT_EPOCH2
+    rng = random.Random(seed)
+
+    def draw(slot):
+        kind = rng.randrange(4)
+        arg = 0 if kind == 3 else rng.randrange(16)
+        return (slot, kind, arg, 1 << slot)
+
+    return [draw(i) for i in range(3)], [draw(i) for i in range(3, 5)]
+
+
+def render_source(seed):
+    epoch1, epoch2 = guard_sets(seed)
+
+    def installs(guards):
+        return "\n".join("    install(%d, %d, %d, %d);" % g
+                         for g in guards)
+
+    return SOURCE_TEMPLATE % {"epoch1": installs(epoch1),
+                              "epoch2": installs(epoch2)}
+
 
 def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=None,
+                        help="draw the guard sets from this seed "
+                             "(default: the fixed historical guards)")
+    args = parser.parse_args()
     print(__doc__)
-    static = compile_program(SOURCE, mode="static").run()
-    dynamic = compile_program(SOURCE, mode="dynamic").run()
+    source = render_source(args.seed)
+    static = compile_program(source, mode="static").run()
+    dynamic = compile_program(source, mode="dynamic").run()
     assert static.value == dynamic.value
     print("dispatched total (both modes):", static.value)
     print()

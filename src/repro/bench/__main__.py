@@ -40,11 +40,15 @@ def main(argv: List[str] = None) -> int:
                              "actions (the paper's 1.7 -> 4.1 result)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="benchmark-name filter (substring match)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="derive every workload's input data from "
+                             "this one seed (default: the historical "
+                             "fixed per-workload seeds)")
     args = parser.parse_args(argv)
 
     costs = FUSED_STITCHER if args.fused else None
     rows = []
-    for workload in all_workloads(scale=args.scale):
+    for workload in all_workloads(scale=args.scale, seed=args.seed):
         if args.only and not any(sel.lower() in workload.name.lower()
                                  for sel in args.only):
             continue

@@ -347,7 +347,12 @@ class _RegionSplitter:
             same_loop = int(self.block_loop.get(succ)
                             == self.block_loop.get(block_name)
                             and self.block_loop.get(succ) is not None)
-            acyclic = int(block_name not in self._reachable_from(succ))
+            # Acyclicity is judged modulo unrolled back edges (like the
+            # set-up validation): inside an unrolled loop every block is
+            # trivially cyclic through the loop's own latch, which would
+            # blind this criterion and let set-up code follow a nested
+            # run-time loop's body instead of its exit.
+            acyclic = int(block_name not in self._reachable_forward(succ))
             return (count, acyclic, same_loop)
 
         return max(candidates, key=score)
@@ -358,6 +363,22 @@ class _RegionSplitter:
         while work:
             current = work.pop()
             for succ in self.func.blocks[current].successors():
+                if succ in self.block_set and succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    def _reachable_forward(self, start: str) -> Set[str]:
+        """Like :meth:`_reachable_from`, but unrolled back edges
+        (latch -> header) are not followed."""
+        back_edges = {(loop.latch, loop.header) for loop in self.loops}
+        seen = {start}
+        work = [start]
+        while work:
+            current = work.pop()
+            for succ in self.func.blocks[current].successors():
+                if (current, succ) in back_edges:
+                    continue
                 if succ in self.block_set and succ not in seen:
                     seen.add(succ)
                     work.append(succ)

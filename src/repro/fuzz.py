@@ -1,0 +1,162 @@
+"""Differential fuzzing CLI: the standing correctness harness.
+
+Usage::
+
+    python -m repro.fuzz --seed 0 --iters 200
+    python -m repro.fuzz --seed 7 --iters 50 --max-stmts 20
+    python -m repro.fuzz --seed 0 --iters 200 --corpus-dir tests/corpus
+
+Each iteration draws one whole program from
+:mod:`repro.testing.genprog` (deterministically from ``seed`` plus the
+iteration number), runs it through the three-way oracle
+(:mod:`repro.testing.oracle`), and on divergence localizes the culprit
+pass (:mod:`repro.testing.ablate`), shrinks the program to a minimal
+reproducer and writes it under ``--corpus-dir``.
+
+Exit status is 0 when every iteration agreed, 1 when any divergence
+was found.  CI runs a bounded configuration of this command and
+uploads whatever lands in the corpus directory as build artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .testing.ablate import (
+    format_reproducer, localize_divergence, shrink_program,
+)
+from .testing.genprog import generate_program
+from .testing.oracle import run_oracle
+
+
+def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
+             max_cycles: int = 200_000_000):
+    """Generate and check one program.
+
+    Returns ``(program, bad_report, annotation_rejected)``:
+    ``bad_report`` is the first failing :class:`OracleReport` (or the
+    report when every leg rejects the program -- a generator bug), or
+    ``None`` when every argument agreed.  ``annotation_rejected`` is
+    True when the dynamic path legitimately refused the region shape
+    for some argument (the splitter's AnnotationError).
+    """
+    program = generate_program(seed * 1_000_003 + iteration,
+                               max_stmts=max_stmts)
+    source = program.source
+    rejected = False
+    for arg in program.args:
+        report = run_oracle(source, [arg], max_cycles=max_cycles)
+        rejected = rejected or report.annotation_reject
+        if report.compile_error:
+            return program, report, rejected
+        if not report.ok:
+            return program, report, rejected
+    return program, None, rejected
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing of the dynamic compiler: "
+                    "random whole programs through interpreter, static "
+                    "RVM and stitched execution.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (default 0); every generated "
+                             "program derives from it deterministically")
+    parser.add_argument("--iters", type=int, default=100,
+                        help="number of programs to generate (default "
+                             "100)")
+    parser.add_argument("--max-stmts", type=int, default=14,
+                        help="statement budget per generated region "
+                             "(default 14)")
+    parser.add_argument("--corpus-dir", default=None,
+                        help="where to write minimized reproducers "
+                             "(default: tests/corpus relative to the "
+                             "repository, created on demand)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip ablation + shrinking on divergence "
+                             "(faster triage loop)")
+    parser.add_argument("--max-cycles", type=int, default=200_000_000,
+                        help="per-run simulated cycle budget")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the feature-coverage histogram")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    corpus_dir = args.corpus_dir
+    if corpus_dir is None:
+        here = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        corpus_dir = os.path.join(here, "tests", "corpus")
+
+    feature_counts: Dict[str, int] = {}
+    divergences = 0
+    compile_errors = 0
+    annotation_rejects = 0
+    started = time.time()
+    for i in range(args.iters):
+        program, bad, rejected = fuzz_one(
+            args.seed, i, max_stmts=args.max_stmts,
+            max_cycles=args.max_cycles)
+        if rejected:
+            annotation_rejects += 1
+        for feature in program.features:
+            feature_counts[feature] = feature_counts.get(feature, 0) + 1
+        if bad is None:
+            if not args.quiet and (i + 1) % 25 == 0:
+                print("  %d/%d programs agreed (%.1fs)"
+                      % (i + 1, args.iters, time.time() - started))
+            continue
+        if bad.compile_error:
+            compile_errors += 1
+            print("iter %d: generator emitted an invalid program "
+                  "(all legs rejected): %s"
+                  % (i, bad.outcomes["interp"].error), file=sys.stderr)
+            continue
+        divergences += 1
+        print("=" * 70)
+        print("iter %d (seed %d): DIVERGENCE with args=%s"
+              % (i, args.seed, bad.args))
+        for divergence in bad.divergences:
+            print("  " + str(divergence))
+        if args.no_shrink:
+            continue
+        print("  localizing culprit pass ...")
+        ablation = localize_divergence(program.source, bad.args,
+                                       max_cycles=args.max_cycles)
+        print("  implicated: %s" % ablation.summary())
+        print("  shrinking ...")
+        before = len(program.source.splitlines())
+        shrink_program(program, max_cycles=args.max_cycles)
+        after = len(program.source.splitlines())
+        print("  shrank %d -> %d lines" % (before, after))
+        final = run_oracle(program.source, bad.args,
+                           max_cycles=args.max_cycles)
+        os.makedirs(corpus_dir, exist_ok=True)
+        name = "seed%d_iter%03d.c" % (args.seed, i)
+        path = os.path.join(corpus_dir, name)
+        with open(path, "w") as handle:
+            handle.write(format_reproducer(program, final, ablation))
+        print("  wrote %s" % path)
+
+    elapsed = time.time() - started
+    print("-" * 70)
+    print("fuzz: %d programs, %d divergences, %d invalid, "
+          "%d annotation-rejected, %.1fs (seed %d)"
+          % (args.iters, divergences, compile_errors,
+             annotation_rejects, elapsed, args.seed))
+    if args.stats and feature_counts:
+        print("feature coverage:")
+        for feature in sorted(feature_counts,
+                              key=lambda f: -feature_counts[f]):
+            print("  %-18s %4d/%d"
+                  % (feature, feature_counts[feature], args.iters))
+    return 1 if divergences else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -255,12 +255,22 @@ class VM:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self, entry: int, int_args: Optional[List[Tuple[int, Number]]] = None
-            ) -> Tuple[int, float]:
+    def run(self, entry: int,
+            int_args: Optional[List[Tuple[int, Number]]] = None,
+            dispatch: str = "threaded") -> Tuple[int, float]:
         """Execute from ``entry`` until the top-level return.
 
         ``int_args`` is a list of (register, value) pairs to preload
         (argument passing).  Returns ``(r0, f0)``.
+
+        ``dispatch`` selects the execution engine: ``"threaded"`` runs
+        the predecoded handlers (the fast path), ``"naive"`` runs the
+        retained instruction-at-a-time decode loop
+        (:meth:`_naive_loop`).  The two are required to be equivalent
+        -- same results, same traps, and bit-identical cycle/owner/
+        opcode accounting -- which the differential tests check; the
+        simulated cost model must never depend on the host-side speed
+        of the dispatch implementation.
         """
         regs = self.regs
         for reg, value in int_args or []:
@@ -268,10 +278,15 @@ class VM:
         regs[SP] = len(self.memory) - 8
         regs[RA] = _RETURN_SENTINEL
         regs[ZERO] = 0
-        handlers = self.handlers
         pc = entry
-        if pc != _RETURN_SENTINEL and not 0 <= pc < len(handlers):
+        if pc != _RETURN_SENTINEL and not 0 <= pc < len(self.handlers):
             raise VMError("pc out of range: %d" % pc)
+        if dispatch == "naive":
+            self._naive_loop(pc)
+            return int(regs[RV]), float(regs[FRV])
+        if dispatch != "threaded":
+            raise ValueError("unknown dispatch %r" % dispatch)
+        handlers = self.handlers
         try:
             while pc != _RETURN_SENTINEL:
                 pc = handlers[pc](pc)
@@ -280,6 +295,158 @@ class VM:
                 raise  # a genuine IndexError inside a runtime service
             raise VMError("pc out of range: %d" % pc) from None
         return int(regs[RV]), float(regs[FRV])
+
+    def _naive_loop(self, pc: int) -> None:
+        """The slow path: decode every instruction on every execution.
+
+        This is the dispatch loop the predecoded handlers replaced.  It
+        is retained deliberately, as the oracle for the fast path: each
+        step charges the same pre-assigned cost to the same owner and
+        opcode cells, checks the same budget, raises the same faults
+        with the same messages, and applies the same architectural
+        special cases (r31 discards results, SP writes update the
+        stack low-water mark, stores update the dirty tracking), so
+        both dispatchers must produce bit-identical accounting.
+        """
+        regs = self.regs
+        memory = self.memory
+        memlen = len(memory)
+        cyc = self._cyc
+        maxc = self._maxc
+        code = self.code
+        min_sp = self._min_sp
+        dirty_low = self._dirty_low
+        strays = self._stray_pages
+        heap = self._heap
+        heap_base = self.HEAP_BASE
+        while pc != _RETURN_SENTINEL:
+            if not 0 <= pc < len(code):
+                raise VMError("pc out of range: %d" % pc)
+            instr = code[pc]
+            op = instr.op
+            cost = instr.cost
+            ocell = self._owner_cell(instr.owner)
+            opcell = self._op_cell(op)
+            total = cyc[0] + cost
+            cyc[0] = total
+            ocell[0] += cost
+            ocell[1] += 1
+            opcell[0] += 1
+            if total > maxc[0]:
+                raise VMError("cycle budget exceeded")
+            rd = instr.rd
+            ra = instr.ra
+            rb = instr.rb
+            imm = instr.imm
+            next_pc = pc + 1
+            if op == "ldq" or op == "ldt":
+                addr = int(regs[ra]) + imm
+                if not 0 <= addr < memlen:
+                    raise VMError("load from wild address %#x at pc %d"
+                                  % (addr, pc))
+                regs[rd] = memory[addr]
+            elif op == "stq" or op == "stt":
+                addr = int(regs[ra]) + imm
+                if not 0 <= addr < memlen:
+                    raise VMError("store to wild address %#x at pc %d"
+                                  % (addr, pc))
+                memory[addr] = regs[rb]
+                if addr >= heap_base:
+                    if addr >= heap[0] and addr < min_sp[0]:
+                        strays.add(addr >> 8)
+                else:
+                    if addr < dirty_low[0]:
+                        dirty_low[0] = addr
+                    if addr > dirty_low[1]:
+                        dirty_low[1] = addr
+            elif op == "lda":
+                if ra == ZERO:
+                    regs[rd] = imm
+                else:
+                    regs[rd] = wrap_int(int(regs[ra]) + imm)
+            elif op == "ldih":
+                regs[rd] = wrap_int((int(regs[rd]) << 16) | (imm & 0xFFFF))
+            elif op in ALU_OPS:
+                fn = binop_impl(ALU_OPS[op])
+                try:
+                    if rb is not None:
+                        regs[rd] = fn(int(regs[ra]), int(regs[rb]))
+                    else:
+                        regs[rd] = fn(int(regs[ra]), imm)
+                except EvalTrap as trap:
+                    raise VMError("arithmetic trap at pc %d: %s"
+                                  % (pc, trap))
+            elif op in FALU_OPS:
+                fn = binop_impl(FALU_OPS[op])
+                try:
+                    regs[rd] = fn(float(regs[ra]), float(regs[rb]))
+                except EvalTrap as trap:
+                    raise VMError("float trap at pc %d: %s" % (pc, trap))
+            elif op == "mov" or op == "fmov":
+                regs[rd] = regs[ra]
+            elif op == "br":
+                target = instr.target
+                if target < 0:
+                    raise VMError("pc out of range: %d" % target)
+                next_pc = target
+            elif op == "beq" or op == "bne":
+                if (regs[ra] == 0) == (op == "beq"):
+                    target = instr.target
+                    if target < 0:
+                        raise VMError("pc out of range: %d" % target)
+                    next_pc = target
+            elif op == "jtab":
+                targets, default = instr.extra  # resolved by the loader
+                index = int(regs[ra]) - imm
+                if 0 <= index < len(targets):
+                    target = targets[index]
+                else:
+                    target = default
+                if target < 0:
+                    raise VMError("pc out of range: %d" % target)
+                next_pc = target
+            elif op == "negq":
+                regs[rd] = wrap_int(-int(regs[ra]))
+            elif op == "ornot":
+                regs[rd] = wrap_int(~int(regs[ra]))
+            elif op == "fneg":
+                regs[rd] = -float(regs[ra])
+            elif op == "cvtqt":
+                regs[rd] = float(int(regs[ra]))
+            elif op == "cvttq":
+                regs[rd] = wrap_int(int(float(regs[ra])))
+            elif op == "jsr":
+                regs[RA] = pc + 1
+                target = instr.target
+                if target < 0:
+                    raise VMError("pc out of range: %d" % target)
+                next_pc = target
+            elif op == "ret":
+                target = int(regs[RA])
+                if target < 0 and target != _RETURN_SENTINEL:
+                    raise VMError("pc out of range: %d" % target)
+                next_pc = target
+            elif op == "jmp":
+                target = int(regs[ra])
+                if target < 0 and target != _RETURN_SENTINEL:
+                    raise VMError("pc out of range: %d" % target)
+                next_pc = target
+            elif op == "call_rt":
+                self._call_rt(instr)
+            elif op == "halt":
+                next_pc = _RETURN_SENTINEL
+            elif op == "nop":
+                pass
+            else:
+                raise VMError("unknown opcode %r at pc %d" % (op, pc))
+            if rd is not None and op in RD_WRITING_OPS:
+                if rd == ZERO:
+                    regs[ZERO] = 0
+                elif rd == SP:
+                    value = int(regs[SP])
+                    if value < min_sp[0]:
+                        min_sp[0] = value
+            pc = next_pc
 
     def _call_rt(self, instr: MInstr) -> None:
         name = instr.name or ""

@@ -145,7 +145,12 @@ class Program:
 
     def run(self, func: str = "main", args: Optional[List[Number]] = None,
             max_cycles: int = 4_000_000_000,
-            memory_words: int = 1 << 22) -> RunResult:
+            memory_words: int = 1 << 22,
+            dispatch: str = "threaded") -> RunResult:
+        """Run ``func(*args)``; ``dispatch`` picks the VM execution
+        engine ("threaded" predecoded fast path, or the retained
+        "naive" decode loop -- equivalent by construction and by
+        test)."""
         vm = self._acquire_vm(memory_words, max_cycles)
         runtime = _RegionRuntime(self, vm)
         vm.rt_handlers["region_lookup"] = runtime.lookup
@@ -156,7 +161,8 @@ class Program:
         preload: List[Tuple[int, Number]] = []
         for i, arg in enumerate(args or []):
             preload.append((ARG_BASE + i, arg))
-        int_result, float_result = vm.run(entry_fn.base, preload)
+        int_result, float_result = vm.run(entry_fn.base, preload,
+                                          dispatch=dispatch)
         return RunResult(
             value=int_result,
             float_value=float_result,

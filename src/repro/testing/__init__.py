@@ -1,0 +1,36 @@
+"""Differential-fuzzing subsystem.
+
+The standing correctness harness for the dynamic compiler: every
+perf or refactor PR runs it.  Three layers:
+
+* :mod:`repro.testing.genprog` -- a whole-program MiniC generator
+  that emits random but type-correct programs exercising dynamic
+  regions with run-time constants, ``unrolled`` loops over generated
+  tables, ``key(...)`` multi-version regions, constant and variable
+  branches, unstructured gotos, and ``dynamic[...]`` dereferences.
+* :mod:`repro.testing.oracle` -- the three-way differential oracle:
+  each program runs through the reference interpreter, static RVM
+  compilation, and the stitched dynamic path; return values, float
+  output, print output, global-memory effects and stitch-report
+  invariants must all agree.
+* :mod:`repro.testing.ablate` -- on divergence, localizes the culprit
+  by toggling optimization passes off one at a time, then shrinks the
+  program by greedy statement deletion to a minimal reproducer.
+
+The CLI entry point is ``python -m repro.fuzz --seed N --iters K``.
+"""
+
+from .ablate import localize_divergence, shrink_program
+from .genprog import GenProgram, ProgramGenerator, generate_program
+from .oracle import Divergence, OracleOutcome, run_oracle
+
+__all__ = [
+    "Divergence",
+    "GenProgram",
+    "OracleOutcome",
+    "ProgramGenerator",
+    "generate_program",
+    "localize_divergence",
+    "run_oracle",
+    "shrink_program",
+]

@@ -1,0 +1,27 @@
+"""Shared test configuration: hypothesis profiles.
+
+The property tests (``test_property*.py``) use hypothesis when it is
+installed; profiles are registered here so CI can pick a bounded,
+deadline-free configuration with ``HYPOTHESIS_PROFILE=ci`` while local
+runs keep the defaults.
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # hypothesis is optional; property tests skip
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        max_examples=30,
+        suppress_health_check=[HealthCheck.too_slow],
+        print_blob=True,
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.register_profile(
+        "thorough", deadline=None, max_examples=400)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

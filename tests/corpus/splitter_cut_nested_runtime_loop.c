@@ -1,0 +1,27 @@
+// minimized reproducer: setup-cut scoring inside an unrolled loop (seed 17)
+// args: 9 1
+// features: unrolled, if_var, plain_loop_nested
+// divergence: dynamic leg raised AnnotationError "set-up code for region 1
+// contains a loop not marked 'unrolled'" while interp/static ran fine.
+// Cause: _choose_cut judged acyclicity with unrolled back edges included,
+// so every block inside an unrolled body looked cyclic and the tie-break
+// let set-up code follow a nested run-time loop's body instead of its
+// exit.  Fixed by scoring reachability modulo unrolled latch->header
+// edges (splitter._reachable_forward).
+
+int f(int c, int n, int v) {
+    int t = 0;
+    dynamicRegion (c) {
+        int i;
+        unrolled for (i = 0; i < c; i++) {
+            if (v > 3) {
+                int j;
+                for (j = 0; j < n; j++) { t = t + j; }
+            } else {
+                t = t + i;
+            }
+        }
+        return t + v;
+    }
+}
+int main(int x) { return f(3, 4, x); }

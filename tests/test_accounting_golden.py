@@ -25,6 +25,7 @@ from repro.bench.workloads import (
     calculator_workload, event_dispatcher_workload, sparse_matvec_workload,
 )
 from repro.runtime.engine import compile_program
+from repro.machine.vm import VMError
 
 GOLDEN_PATH = Path(__file__).parent / "golden_accounting.json"
 
@@ -88,6 +89,78 @@ def snapshot(name: str, mode: str) -> Dict[str, object]:
             for f in REPORT_FIELDS:
                 assert getattr(a, f) == getattr(b, f), f
     return snap
+
+
+def _full_snapshot(result) -> Dict[str, object]:
+    """Every observable of one run, stitch reports included."""
+    snap: Dict[str, object] = {
+        "value": result.value,
+        "float_value": result.float_value,
+        "output": list(result.output),
+        "cycles": result.cycles,
+        "cycles_by_owner": dict(result.cycles_by_owner),
+        "instrs_by_owner": dict(result.instrs_by_owner),
+        "op_counts": dict(result.op_counts),
+        "stitch_reports": [
+            tuple(getattr(report, f) for f in REPORT_FIELDS)
+            + (tuple(report.key), dict(report.loop_iterations),
+               dict(report.peepholes))
+            for report in result.stitch_reports
+        ],
+    }
+    return snap
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_dispatch_equivalence(name: str, mode: str) -> None:
+    """Fast path vs slow path: the predecoded threaded dispatch and the
+    retained naive decode loop must agree on *every* observable --
+    results, output, and bit-identical cycle/owner/opcode accounting.
+    The cost model is simulated, so host-side dispatch speed must never
+    leak into it."""
+    workload = CASES[name]()
+    threaded = compile_program(workload.source, mode=mode)
+    naive = compile_program(workload.source, mode=mode)
+    a = _full_snapshot(threaded.run(dispatch="threaded"))
+    b = _full_snapshot(naive.run(dispatch="naive"))
+    for field in sorted(a):
+        assert a[field] == b[field], \
+            "%s/%s: %s differs between threaded and naive dispatch" \
+            % (name, mode, field)
+    # Cross-dispatch rerun on the same cached VM: a naive rerun of the
+    # threaded Program (and vice versa) must reproduce it again.
+    c = _full_snapshot(threaded.run(dispatch="naive"))
+    d = _full_snapshot(naive.run(dispatch="threaded"))
+    assert c == a
+    assert d == a
+
+
+def test_dispatch_equivalence_on_trap() -> None:
+    """Both dispatchers must fault identically (same message, same
+    cycle count at the fault) on a division by zero."""
+    source = """
+    int main(int x) {
+        return 7 / x;
+    }
+    """
+    outcomes = []
+    for dispatch in ("threaded", "naive"):
+        program = compile_program(source, mode="static")
+        try:
+            program.run("main", [0], dispatch=dispatch)
+        except VMError as exc:
+            outcomes.append((str(exc), program._vm.cycles))
+        else:
+            pytest.fail("division by zero did not trap (%s)" % dispatch)
+    assert outcomes[0] == outcomes[1]
+    assert "arithmetic trap" in outcomes[0][0]
+
+
+def test_dispatch_rejects_unknown() -> None:
+    program = compile_program("int main(int x) { return x; }")
+    with pytest.raises(ValueError):
+        program.run("main", [1], dispatch="sideways")
 
 
 def _load_golden() -> Dict[str, Dict[str, object]]:

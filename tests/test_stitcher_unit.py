@@ -214,3 +214,107 @@ def test_owner_tagging_of_stitched_code():
     (report,) = reports
     for instr in vm.code[report.entry:]:
         assert instr.owner == "stitched:f:1"
+
+
+# -- directive-level behaviour ---------------------------------------------
+
+def _stitched_is_acyclic(vm, report):
+    """No branch inside the stitched code targets an earlier (or its
+    own) stitched pc -- i.e. complete unrolling left no loops."""
+    for offset, instr in enumerate(vm.code[report.entry:]):
+        if instr.op in ("br", "beq", "bne") and instr.target is not None:
+            if report.entry <= instr.target <= report.entry + offset:
+                return False
+    return True
+
+
+def test_restart_loop_follows_one_record_per_iteration():
+    source = """
+    int f(int n, int v) {
+        int t = 0;
+        dynamicRegion (n) {
+            int i;
+            unrolled for (i = 0; i < n; i++) t += i;
+            return t * v;
+        }
+    }
+    int main() { return f(5, 2); }
+    """
+    _, vm, reports, value = stitch_and_inspect(source)
+    (report,) = reports
+    assert value == (0 + 1 + 2 + 3 + 4) * 2
+    (iterations,) = report.loop_iterations.values()
+    # The header is stitched once per record: ENTER_LOOP reads the head
+    # record, then each back edge is a RESTART_LOOP advancing the
+    # chain.  Five bodies -> five back edges -> six header copies.
+    assert iterations == 6
+    assert report.records_followed == 6
+    # START + END + ENTER + 5 RESTARTs are all directives, on top of
+    # the per-copy CONST_BRANCH/HOLE ones.
+    assert report.directives >= 2 + 6
+    assert _stitched_is_acyclic(vm, report)
+
+
+def test_nested_unrolled_loops_fully_unrolled():
+    source = """
+    int f(int n, int m, int v) {
+        int t = 0;
+        dynamicRegion (n, m) {
+            int i; int j;
+            unrolled for (i = 0; i < n; i++) {
+                unrolled for (j = 0; j < m; j++) {
+                    t += i * m + j;
+                }
+            }
+            return t + v;
+        }
+    }
+    int main() { return f(3, 2, 100); }
+    """
+    _, vm, reports, value = stitch_and_inspect(source)
+    (report,) = reports
+    assert value == 100 + sum(i * 2 + j for i in range(3) for j in range(2))
+    assert len(report.loop_iterations) == 2
+    # The outer chain has 4 records (3 bodies + exit test); the inner
+    # loop is re-entered per outer iteration, each entry following a
+    # 3-record chain of its own: 4 + 3 * 3 records in total.
+    assert report.records_followed == 4 + 3 * 3
+    # loop_iterations counts ENTER once (first entry) plus one per
+    # RESTART: outer 1 + 3, inner 1 + 3 entries * 2 back edges.
+    assert sorted(report.loop_iterations.values()) == [4, 7]
+    assert report.optimizations_applied()["complete_loop_unrolling"]
+    assert _stitched_is_acyclic(vm, report)
+
+
+def test_const_branch_chain_drops_both_dead_arms():
+    # Chained constant branches: the untaken side of the outer branch
+    # holds another constant branch -- neither of its arms may be
+    # stitched at all, and the taken side's own dead arm is elided.
+    source = """
+    int f(int c, int v) {
+        int r = v;
+        dynamicRegion (c) {
+            if (c > 4) {
+                if (c > 8) { r = r * 11; } else { r = r * 12345; }
+            } else {
+                if (c < 2) { r = r * 23456; } else { r = r * 339; }
+            }
+            return r;
+        }
+    }
+    int main() { return f(9, 3); }
+    """
+    _, vm, reports, value = stitch_and_inspect(source)
+    (report,) = reports
+    assert value == 3 * 11
+    # Only the branches actually reached get resolved: the outer test
+    # and the inner test on its taken side.  The else-side inner branch
+    # is dead code and is never even visited.
+    assert report.const_branches_resolved == 2
+    assert report.dead_sides_eliminated == 2
+    dead_constants = {12345, 23456, 339}
+    for instr in vm.code[report.entry:]:
+        assert instr.imm not in dead_constants
+    pool = [vm.memory[report.pool_base + i]
+            for i in range(report.pool_entries)]
+    assert not dead_constants & set(pool)
