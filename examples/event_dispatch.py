@@ -25,6 +25,7 @@ import argparse
 import random
 
 from repro import compile_program
+from repro.obs import observing
 
 SOURCE_TEMPLATE = """
 int guards[30];
@@ -114,11 +115,16 @@ def main():
     parser.add_argument("--seed", type=int, default=None,
                         help="draw the guard sets from this seed "
                              "(default: the fixed historical guards)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace of the demo to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the obs metrics snapshot to stderr")
     args = parser.parse_args()
     print(__doc__)
     source = render_source(args.seed)
-    static = compile_program(source, mode="static").run()
-    dynamic = compile_program(source, mode="dynamic").run()
+    with observing(args.trace, args.metrics):
+        static = compile_program(source, mode="static").run()
+        dynamic = compile_program(source, mode="dynamic").run()
     assert static.value == dynamic.value
     print("dispatched total (both modes):", static.value)
     print()

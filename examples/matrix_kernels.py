@@ -25,6 +25,7 @@ import random
 
 from repro import compile_program
 from repro.bench.harness import measure
+from repro.obs import observing
 from repro.bench.workloads import (
     scalar_matrix_workload, sparse_matvec_workload,
 )
@@ -50,38 +51,46 @@ def main():
                         help="derive the sparse-matrix data and the "
                              "keyed-kernel sample from this seed "
                              "(default: the fixed historical data)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace of the demo to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the obs metrics snapshot to stderr")
     args = parser.parse_args()
     rng = random.Random(args.seed) if args.seed is not None else None
     print(__doc__)
 
-    scalar = scalar_matrix_workload(rows=16, cols=25, scalars=16)
-    show("scalar-matrix multiply", measure(scalar))
+    with observing(args.trace, args.metrics):
+        scalar = scalar_matrix_workload(rows=16, cols=25, scalars=16)
+        show("scalar-matrix multiply", measure(scalar))
 
-    # Peek at the per-key specialization.
-    program = compile_program(scalar.source, mode="dynamic")
-    result = program.run()
-    reports = result.stitch_reports
-    if rng is not None:
-        sample = sorted(rng.sample(range(len(reports)),
-                                   min(8, len(reports))))
-        reports = [reports[i] for i in sample]
-    print("per-scalar strength reduction (one stitched kernel per key):")
-    for report in reports[:8]:
-        events = ", ".join("%s" % k for k in report.peepholes) or "generic mulq"
-        print("  s = %-3s -> %s" % (report.key[0], events))
-    print()
+        # Peek at the per-key specialization.
+        program = compile_program(scalar.source, mode="dynamic")
+        result = program.run()
+        reports = result.stitch_reports
+        if rng is not None:
+            sample = sorted(rng.sample(range(len(reports)),
+                                       min(8, len(reports))))
+            reports = [reports[i] for i in sample]
+        print("per-scalar strength reduction (one stitched kernel per "
+              "key):")
+        for report in reports[:8]:
+            events = ", ".join("%s" % k for k in report.peepholes) \
+                or "generic mulq"
+            print("  s = %-3s -> %s" % (report.key[0], events))
+        print()
 
-    sparse_seed = rng.randrange(1 << 30) if rng is not None else 1996
-    sparse = sparse_matvec_workload(size=20, per_row=4, reps=5,
-                                    seed=sparse_seed)
-    row = measure(sparse)
-    show("sparse matrix-vector multiply", row)
-    report = row.dynamic_result.stitch_reports[0]
-    outer = report.loop_iterations.get(1, 0)
-    sparse_program = compile_program(sparse.source, mode="dynamic")
-    template_size = sparse_program.template_size("spmv", 1)
-    print("unrolling: outer loop %d rows, %d template instructions -> %d "
-          "stitched" % (outer - 1, template_size, report.instrs_emitted))
+        sparse_seed = rng.randrange(1 << 30) if rng is not None else 1996
+        sparse = sparse_matvec_workload(size=20, per_row=4, reps=5,
+                                        seed=sparse_seed)
+        row = measure(sparse)
+        show("sparse matrix-vector multiply", row)
+        report = row.dynamic_result.stitch_reports[0]
+        outer = report.loop_iterations.get(1, 0)
+        sparse_program = compile_program(sparse.source, mode="dynamic")
+        template_size = sparse_program.template_size("spmv", 1)
+        print("unrolling: outer loop %d rows, %d template instructions "
+              "-> %d stitched"
+              % (outer - 1, template_size, report.instrs_emitted))
 
 
 if __name__ == "__main__":

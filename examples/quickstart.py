@@ -9,9 +9,13 @@ the modulus becomes a mask, and the probe loop unrolls four ways --
 exactly the code the paper prints at the end of section 4.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace /tmp/quickstart.json
 """
 
+import argparse
+
 from repro import compile_program
+from repro.obs import observing
 
 SOURCE = """
 struct SetStructure { int tag; };
@@ -112,4 +116,11 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace of the demo to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the obs metrics snapshot to stderr")
+    opts = parser.parse_args()
+    with observing(opts.trace, opts.metrics):
+        main()

@@ -59,6 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dump-directives", action="store_true",
                         help="print the paper-style flat directive "
                              "stream (Table 1) per region")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a Chrome trace of compile + run "
+                             "to PATH (load in Perfetto)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the obs metrics snapshot after the "
+                             "run")
     parser.add_argument("--max-cycles", type=int, default=4_000_000_000)
     return parser
 
@@ -71,6 +77,31 @@ def main(argv: List[str] = None) -> int:
     except OSError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+
+    from .obs import metrics as obs_metrics
+    from .obs import trace as obs_trace
+    tracer = obs_trace.Tracer() if args.trace else None
+    if tracer is not None:
+        obs_trace.install(tracer)
+    if args.metrics:
+        obs_metrics.registry.enable()
+    try:
+        return _run(args, source)
+    finally:
+        if tracer is not None:
+            obs_trace.install(None)
+            tracer.write_chrome(args.trace)
+            print("wrote trace: %s (%d events, %d dropped)"
+                  % (args.trace, len(tracer.events), tracer.dropped),
+                  file=sys.stderr)
+        if args.metrics:
+            print()
+            print(obs_metrics.format_snapshot(
+                obs_metrics.registry.snapshot()))
+            obs_metrics.registry.disable()
+
+
+def _run(args, source: str) -> int:
 
     if args.dump_ir:
         from .frontend.parser import parse

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Tuple
 
+from ..obs.metrics import registry as obs_metrics
+
 #: One atom: the run-time-constant branch terminating block ``block``
 #: goes to successor ``succ``.
 Atom = Tuple[str, str]
@@ -94,6 +96,10 @@ def or_(a: Condition, b: Condition, branch_arity: Dict[str, int]) -> Condition:
 
 def simplify(cond: Condition, branch_arity: Dict[str, int]) -> Condition:
     """Apply absorption and full-cover reduction until a fixpoint."""
+    if obs_metrics._enabled:
+        obs_metrics.counter("conditions.simplify_calls").inc()
+        obs_metrics.histogram("conditions.disjuncts").observe(
+            len(cond.disjuncts))
     disjuncts = set(cond.disjuncts)
     changed = True
     while changed:
@@ -136,6 +142,8 @@ def exclusive(a: Condition, b: Condition) -> bool:
     Checked syntactically, as in the paper: every pair of disjuncts must
     contain contradictory atoms.  FALSE is exclusive with anything.
     """
+    if obs_metrics._enabled:
+        obs_metrics.counter("conditions.exclusive_checks").inc()
     if a.is_false() or b.is_false():
         return True
     for conj_a in a.disjuncts:

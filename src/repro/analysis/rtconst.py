@@ -34,6 +34,7 @@ from ..ir.instructions import (
     is_speculatable,
 )
 from ..ir.values import FloatConst, GlobalAddr, IntConst, Temp, Value
+from ..obs import trace as obs_trace
 from .conditions import (
     Condition, FALSE, TRUE, and_atom, or_, pairwise_exclusive,
 )
@@ -80,6 +81,19 @@ def analyze_region(func: Function, region: DynamicRegionInfo,
     if region.const_temps is None:
         raise ValueError("region analysis requires SSA form "
                          "(const_temps not recorded)")
+    with obs_trace.span("analysis.rtconst", "analysis",
+                        region="%s:%d" % (func.name, region.region_id),
+                        reachability=use_reachability) as span:
+        result = _analyze_region(func, region, use_reachability)
+        if span is not None:
+            span["const_names"] = len(result.const_names)
+            span["const_merges"] = len(result.const_merges)
+            span["const_branches"] = len(result.const_branches)
+    return result
+
+
+def _analyze_region(func: Function, region: DynamicRegionInfo,
+                    use_reachability: bool) -> RegionAnalysis:
     blocks = [name for name in func.blocks if name in region.blocks]
     block_set = set(blocks)
     result = RegionAnalysis(region)

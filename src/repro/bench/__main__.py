@@ -17,9 +17,11 @@ import time
 from typing import List
 
 from ..machine.costs import FUSED_STITCHER
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..runtime.engine import compile_program
 from .harness import measure
-from .reporting import format_table2, format_table3
+from .reporting import format_breakeven, format_table2, format_table3
 from .workloads import all_workloads, calculator_workload
 
 
@@ -44,27 +46,62 @@ def main(argv: List[str] = None) -> int:
                         help="derive every workload's input data from "
                              "this one seed (default: the historical "
                              "fixed per-workload seeds)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a Chrome trace of the measured "
+                             "runs to PATH (load in Perfetto)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the obs metrics snapshot after "
+                             "measuring")
+    parser.add_argument("--breakeven", action="store_true",
+                        help="also print the live per-region break-even "
+                             "table (python -m repro.obs report)")
     args = parser.parse_args(argv)
+
+    tracer = obs_trace.Tracer() if args.trace else None
+    if tracer is not None:
+        obs_trace.install(tracer)
+    if args.metrics:
+        obs_metrics.registry.enable()
 
     costs = FUSED_STITCHER if args.fused else None
     rows = []
-    for workload in all_workloads(scale=args.scale, seed=args.seed):
-        if args.only and not any(sel.lower() in workload.name.lower()
-                                 for sel in args.only):
-            continue
-        started = time.time()
-        try:
-            row = measure(workload, stitcher_costs=costs,
-                          use_reachability=not args.no_reachability)
-        except Exception as exc:  # keep going; report the failure
-            print("%-30s %-30s FAILED: %s: %s"
+    breakeven_sections = []
+    try:
+        for workload in all_workloads(scale=args.scale, seed=args.seed):
+            if args.only and not any(sel.lower() in workload.name.lower()
+                                     for sel in args.only):
+                continue
+            started = time.time()
+            try:
+                with obs_trace.span("bench.workload", "bench",
+                                    workload=workload.name):
+                    row = measure(workload, stitcher_costs=costs,
+                                  use_reachability=not args.no_reachability)
+            except Exception as exc:  # keep going; report the failure
+                print("%-30s %-30s FAILED: %s: %s"
+                      % (workload.name, workload.config,
+                         type(exc).__name__, exc), file=sys.stderr)
+                continue
+            rows.append(row)
+            if args.breakeven:
+                from ..obs.breakeven import break_even_workload
+                breakeven_sections.append(
+                    "%s (%s)\n%s"
+                    % (workload.name, workload.config,
+                       format_breakeven(break_even_workload(
+                           workload, stitcher_costs=costs,
+                           use_reachability=not args.no_reachability))))
+            print("measured %-30s %-32s (%.1fs)"
                   % (workload.name, workload.config,
-                     type(exc).__name__, exc), file=sys.stderr)
-            continue
-        rows.append(row)
-        print("measured %-30s %-32s (%.1fs)"
-              % (workload.name, workload.config, time.time() - started),
-              file=sys.stderr)
+                     time.time() - started),
+                  file=sys.stderr)
+    finally:
+        if tracer is not None:
+            obs_trace.install(None)
+            tracer.write_chrome(args.trace)
+            print("wrote trace: %s (%d events, %d dropped)"
+                  % (args.trace, len(tracer.events), tracer.dropped),
+                  file=sys.stderr)
 
     if not rows:
         print("nothing measured", file=sys.stderr)
@@ -73,6 +110,16 @@ def main(argv: List[str] = None) -> int:
     print(format_table2(rows))
     print()
     print(format_table3(rows))
+
+    if breakeven_sections:
+        print()
+        print("break-even, live per region (Section 5):")
+        print()
+        print("\n\n".join(breakeven_sections))
+    if args.metrics:
+        print()
+        print(obs_metrics.format_snapshot(obs_metrics.registry.snapshot()))
+        obs_metrics.registry.disable()
 
     if args.register_actions:
         workload = calculator_workload()

@@ -73,3 +73,27 @@ def table3_dict(rows: List[BenchmarkMeasurement]) -> Dict[str, Dict[str, bool]]:
     for row in rows:
         result.setdefault(row.workload.name, row.optimizations)
     return result
+
+
+def format_breakeven(rows) -> str:
+    """Render per-region break-even rows (:mod:`repro.obs.breakeven`)
+    as the paper's Table 2, one line per dynamic region."""
+    header = ("%-22s %8s %8s %8s %9s %9s %9s %10s %9s"
+              % ("region", "execs", "stitches", "hits", "stat/ex",
+                 "dyn/ex", "speedup", "overhead", "breakeven"))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        breakeven = row.breakeven_runs
+        lines.append(
+            "%-22s %8d %8d %8d %9.1f %9.1f %8.2fx %10d %9s"
+            % ("%s:%d" % (row.func_name, row.region_id),
+               row.executions, row.stitches, row.cache_hits,
+               row.static_per_exec, row.dynamic_per_exec, row.speedup,
+               row.overhead_cycles,
+               str(breakeven) if breakeven is not None else "never"))
+        lines.append(
+            "%-22s %8s %8s %8s   (%d instrs stitched, %.1f overhead "
+            "cycles/instr)"
+            % ("", "", "", "", row.instrs_stitched,
+               row.cycles_per_stitched_instr))
+    return "\n".join(lines)

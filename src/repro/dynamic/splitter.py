@@ -40,6 +40,7 @@ from ..ir.instructions import (
     Terminator, UnOp,
 )
 from ..ir.values import HoleRef, IntConst, Temp, Value
+from ..obs import trace as obs_trace
 from .regionops import RegionEnter, RegionLookup, RegionStitch
 from .table import LoopPlan, SlotRef, TablePlan
 
@@ -96,7 +97,18 @@ def split_function(func: Function,
             continue  # region optimized away entirely
         analysis = analyze_region(func, region,
                                   use_reachability=use_reachability)
-        plans.append(split_region(func, region, analysis))
+        with obs_trace.span("split.region", "split",
+                            region="%s:%d" % (func.name,
+                                              region.region_id)) as span:
+            plan = split_region(func, region, analysis)
+            if span is not None:
+                span["blocks"] = len(region.blocks)
+                span["setup_blocks"] = len(plan.setup_blocks)
+                span["template_blocks"] = len(plan.template_blocks)
+                span["const_names"] = len(analysis.const_names)
+                span["const_branches"] = len(analysis.const_branches)
+                span["key_vars"] = len(region.key_vars)
+        plans.append(plan)
     return plans
 
 
@@ -355,7 +367,15 @@ class _RegionSplitter:
             acyclic = int(block_name not in self._reachable_forward(succ))
             return (count, acyclic, same_loop)
 
-        return max(candidates, key=score)
+        chosen = max(candidates, key=score)
+        if obs_trace._current is not None:
+            obs_trace.instant(
+                "split.cut", "split",
+                region="%s:%d" % (self.func.name, self.region.region_id),
+                block=block_name, chosen=chosen,
+                candidates={succ: list(score(succ))
+                            for succ in candidates})
+        return chosen
 
     def _reachable_from(self, start: str) -> Set[str]:
         seen = {start}

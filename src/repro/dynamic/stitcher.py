@@ -33,6 +33,7 @@ from ..codegen.objects import (
 )
 from ..machine.costs import StitcherCosts
 from ..machine.isa import CPOOL, MInstr, SCRATCH2, ZERO, fits_imm
+from ..obs import trace as obs_trace
 from .peephole import reduce_alu
 from .table import LoopPlan, SlotRef
 
@@ -540,7 +541,24 @@ def stitch_region(vm, compiled: CompiledFunction, region: RegionCode,
     stitcher = Stitcher(vm, compiled, region, table_addr, costs, key,
                         register_actions=register_actions,
                         functions=functions)
-    report = stitcher.stitch()
+    with obs_trace.span("stitch.region", "stitch",
+                        region="%s:%d" % (region.func_name,
+                                          region.region_id)) as span:
+        report = stitcher.stitch()
+        if span is not None:
+            span["key"] = list(report.key)
+            span["instrs_emitted"] = report.instrs_emitted
+            span["holes_patched"] = report.holes_patched
+            span["directives"] = report.directives
+            span["const_branches_resolved"] = report.const_branches_resolved
+            span["dead_sides_eliminated"] = report.dead_sides_eliminated
+            span["pool_entries"] = report.pool_entries
+            span["records_followed"] = report.records_followed
+            span["loops_unrolled"] = {
+                str(loop_id): count
+                for loop_id, count in report.loop_iterations.items()}
+            span["peepholes"] = dict(report.peepholes)
+            span["stitcher_cycles"] = report.cycles
     vm.charge("stitcher:%s:%d" % (region.func_name, region.region_id),
               report.cycles)
     return report

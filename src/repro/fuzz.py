@@ -26,6 +26,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from .obs import trace as obs_trace
 from .testing.ablate import (
     format_reproducer, localize_divergence, shrink_program,
 )
@@ -84,6 +85,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-run simulated cycle budget")
     parser.add_argument("--stats", action="store_true",
                         help="print the feature-coverage histogram")
+    parser.add_argument("--trace-tail", type=int, default=2048,
+                        metavar="N",
+                        help="keep the last N pipeline/stitch trace "
+                             "events per iteration and dump them next "
+                             "to the reproducer on divergence "
+                             "(0 disables; default 2048)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -97,11 +104,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     divergences = 0
     compile_errors = 0
     annotation_rejects = 0
+    # Ring tracer: cheap enough to leave on, and on a divergence the
+    # last N compile/stitch events become part of the reproducer.
+    tracer = (obs_trace.Tracer(max_events=args.trace_tail, ring=True)
+              if args.trace_tail > 0 else None)
+    if tracer is not None:
+        obs_trace.install(tracer)
     started = time.time()
     for i in range(args.iters):
+        if tracer is not None:
+            tracer.clear()
         program, bad, rejected = fuzz_one(
             args.seed, i, max_stmts=args.max_stmts,
             max_cycles=args.max_cycles)
+        # Snapshot the tail now, before ablation/shrinking reruns
+        # overwrite the ring with events from other programs.
+        trace_tail = list(tracer.events) if tracer is not None else []
         if rejected:
             annotation_rejects += 1
         for feature in program.features:
@@ -142,7 +160,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(path, "w") as handle:
             handle.write(format_reproducer(program, final, ablation))
         print("  wrote %s" % path)
+        if trace_tail:
+            trace_path = path + ".trace.jsonl"
+            with open(trace_path, "w") as handle:
+                for event in trace_tail:
+                    handle.write(obs_trace.dumps_event(event) + "\n")
+            print("  wrote %s (%d events)" % (trace_path,
+                                              len(trace_tail)))
 
+    if tracer is not None:
+        obs_trace.install(None)
     elapsed = time.time() - started
     print("-" * 70)
     print("fuzz: %d programs, %d divergences, %d invalid, "

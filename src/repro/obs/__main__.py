@@ -1,0 +1,224 @@
+"""Observability CLI: break-even reports, traces, profiles.
+
+Usage::
+
+    python -m repro.obs report                     # Table 2, live, per region
+    python -m repro.obs report --only calculator --json rows.json
+    python -m repro.obs trace --workload calculator --out trace.json
+    python -m repro.obs trace program.c --format jsonl --out trace.jsonl
+    python -m repro.obs profile --workload "sparse"
+    python -m repro.obs validate trace.json        # schema check (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import metrics, trace
+from .breakeven import break_even_workload, rows_from_results
+from .profiler import format_profile, profile_result
+
+
+def _selected_workloads(only: Optional[List[str]], scale: float,
+                        seed: Optional[int]):
+    from ..bench.workloads import all_workloads
+    selected = []
+    for workload in all_workloads(scale=scale, seed=seed):
+        if only and not any(sel.lower() in workload.name.lower()
+                            for sel in only):
+            continue
+        selected.append(workload)
+    return selected
+
+
+def _cmd_report(args) -> int:
+    from ..bench.reporting import format_breakeven
+    workloads = _selected_workloads(args.only, args.scale, args.seed)
+    if not workloads:
+        print("no workload matches %r" % (args.only,), file=sys.stderr)
+        return 1
+    sections = []
+    json_out = {}
+    for workload in workloads:
+        print("measuring %-30s %s ..."
+              % (workload.name, workload.config), file=sys.stderr)
+        try:
+            rows = break_even_workload(workload,
+                                       max_cycles=args.max_cycles)
+        except Exception as exc:  # keep going; report the failure
+            print("%-30s FAILED: %s: %s"
+                  % (workload.name, type(exc).__name__, exc),
+                  file=sys.stderr)
+            continue
+        title = "%s (%s)" % (workload.name, workload.config)
+        sections.append(title + "\n" + format_breakeven(rows))
+        json_out[workload.name] = [row.to_dict() for row in rows]
+    if not sections:
+        print("nothing measured", file=sys.stderr)
+        return 1
+    print()
+    print("\n\n".join(sections))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(json_out, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("\nwrote %s" % args.json, file=sys.stderr)
+    return 0
+
+
+def _compile_and_run(args):
+    """(program, result) for either --workload NAME or a source file."""
+    from ..runtime.engine import compile_program
+    if args.workload:
+        selected = _selected_workloads([args.workload], 1.0, None)
+        if not selected:
+            raise SystemExit("no workload matches %r" % args.workload)
+        workload = selected[0]
+        print("workload: %s (%s)" % (workload.name, workload.config),
+              file=sys.stderr)
+        source = workload.source
+        run_args: List[int] = []
+    else:
+        if not args.source:
+            raise SystemExit("give a MiniC source file or --workload NAME")
+        with open(args.source) as handle:
+            source = handle.read()
+        run_args = args.args
+    program = compile_program(source, mode=args.mode)
+    result = program.run(args=run_args, max_cycles=args.max_cycles)
+    return program, result
+
+
+def _cmd_trace(args) -> int:
+    tracer = trace.Tracer()
+    metrics.registry.enable()
+    try:
+        with trace.tracing(tracer):
+            _, result = _compile_and_run(args)
+    finally:
+        metrics.registry.disable()
+    out = args.out or "trace.json"
+    if args.format == "jsonl":
+        tracer.write_jsonl(out)
+    else:
+        tracer.write_chrome(out)
+    errors = trace.validate_events(tracer.events)
+    print("ran: value=%s cycles=%d; %d events (%d dropped) -> %s"
+          % (result.value, result.cycles, len(tracer.events),
+             tracer.dropped, out))
+    if errors:
+        for error in errors[:20]:
+            print("schema error: %s" % error, file=sys.stderr)
+        return 1
+    if args.metrics:
+        print()
+        print(metrics.format_snapshot(metrics.registry.snapshot()))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    _, result = _compile_and_run(args)
+    print(format_profile(profile_result(result)))
+    if getattr(result, "region_entries", None):
+        rows = []
+        if args.mode == "dynamic":
+            # Per-entry economics need the static baseline too.
+            from ..runtime.engine import compile_program
+            if args.workload:
+                source = _selected_workloads(
+                    [args.workload], 1.0, None)[0].source
+            else:
+                with open(args.source) as handle:
+                    source = handle.read()
+            static = compile_program(source, mode="static")
+            static_result = static.run(args=args.args if args.source
+                                       else [],
+                                       max_cycles=args.max_cycles)
+            rows = rows_from_results(static_result, result)
+        if rows:
+            from ..bench.reporting import format_breakeven
+            print()
+            print(format_breakeven(rows))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    try:
+        events = trace.load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print("cannot load %s: %s" % (args.trace_file, exc),
+              file=sys.stderr)
+        return 2
+    errors = trace.validate_events(events)
+    if errors:
+        print("%s: INVALID (%d errors)" % (args.trace_file, len(errors)))
+        for error in errors[:40]:
+            print("  " + error)
+        return 1
+    print("%s: OK (%d events)" % (args.trace_file, len(events)))
+    return 0
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", nargs="?", default=None,
+                        help="MiniC source file (or use --workload)")
+    parser.add_argument("--workload", default=None,
+                        help="bench workload name (substring match)")
+    parser.add_argument("--mode", choices=["dynamic", "static"],
+                        default="dynamic")
+    parser.add_argument("--args", nargs="*", type=int, default=[],
+                        help="integer arguments for main()")
+    parser.add_argument("--max-cycles", type=int, default=4_000_000_000)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability over the compile->stitch->execute "
+                    "pipeline: break-even reports, traces, profiles.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="per-region break-even table over the bench "
+                       "workloads (the paper's Table 2, live)")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="workload-name filter (substring match)")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=None)
+    report.add_argument("--json", default=None,
+                        help="also write rows as JSON to this path")
+    report.add_argument("--max-cycles", type=int, default=4_000_000_000)
+    report.set_defaults(func=_cmd_report)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="run a program or workload with tracing on and "
+                      "dump the event trace")
+    _add_run_arguments(trace_cmd)
+    trace_cmd.add_argument("--out", default=None,
+                           help="output path (default trace.json)")
+    trace_cmd.add_argument("--format", choices=["chrome", "jsonl"],
+                           default="chrome")
+    trace_cmd.add_argument("--metrics", action="store_true",
+                           help="also print the metrics snapshot")
+    trace_cmd.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="run and print the per-owner/per-region "
+                        "simulated-cycle profile")
+    _add_run_arguments(profile)
+    profile.set_defaults(func=_cmd_profile)
+
+    validate = sub.add_parser(
+        "validate", help="schema-check a trace file (chrome or jsonl)")
+    validate.add_argument("trace_file")
+    validate.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Break-even reporting: the paper's Table 2, live, per region.
+
+Section 5 of "Fast, Effective Dynamic Compilation" evaluates the
+system with three numbers per benchmark: the *asymptotic speedup* of
+dynamically compiled code over statically compiled code, the one-time
+*dynamic compilation overhead* (set-up code + stitcher, also expressed
+in cycles per stitched instruction), and the *break-even point* -- how
+many executions of the region it takes for the saved cycles to repay
+the overhead.  This module computes exactly those numbers for **every
+dynamic region of any program**, from a pair of instrumented runs:
+
+* the *static* run charges each region body to ``region:<f>:<r>``;
+* the *dynamic* run splits the same work into ``stitched:<f>:<r>``
+  (generated-code executions), ``dispatch:<f>:<r>`` (cache lookup and
+  entry glue), ``setup:<f>:<r>`` (table-filling set-up code) and
+  ``stitcher:<f>:<r>`` (the dynamic compiler itself);
+* the region runtime counts real region entries and code-cache
+  hits/misses, so per-execution figures divide by what actually ran
+  (not by a workload's declared execution count).
+
+Terminology mapping to the paper (docs/OBSERVABILITY.md has the full
+table): ``overhead == setup + stitcher`` ("set-up & stitcher"
+columns), ``speedup == static_per_exec / dynamic_per_exec``
+("asymptotic speedup"), ``breakeven_runs == ceil(overhead /
+(static_per_exec - dynamic_per_exec))`` ("breakeven point"),
+``cycles_per_stitched_instr == overhead / instrs_stitched``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+Number = float
+
+RegionKey = Tuple[str, int]
+
+
+@dataclass
+class BreakEvenRow:
+    """Break-even economics of one dynamic region."""
+
+    func_name: str
+    region_id: int
+    #: Region entries observed in the dynamic run (cache hits + misses).
+    executions: int
+    #: Stitches performed (== cache misses).
+    stitches: int
+    #: Code-cache hits (reused previously stitched code).
+    cache_hits: int
+    #: Static-baseline cycles spent in the region body, whole run.
+    static_cycles: int
+    #: Dynamic-run cycles in stitched code, whole run.
+    stitched_cycles: int
+    #: Dynamic-run cycles in lookup/enter glue, whole run.
+    dispatch_cycles: int
+    #: One-time set-up code cycles (table filling).
+    setup_cycles: int
+    #: One-time stitcher (dynamic compiler) cycles.
+    stitcher_cycles: int
+    #: Total instructions emitted by stitches of this region.
+    instrs_stitched: int
+
+    # -- derived (the paper's Section 5 quantities) -----------------------
+
+    @property
+    def static_per_exec(self) -> float:
+        return self.static_cycles / max(1, self.executions)
+
+    @property
+    def dynamic_per_exec(self) -> float:
+        return (self.stitched_cycles + self.dispatch_cycles) \
+            / max(1, self.executions)
+
+    @property
+    def saved_per_exec(self) -> float:
+        """Cycles saved each time the stitched code runs instead of the
+        static code (negative when dynamic is slower)."""
+        return self.static_per_exec - self.dynamic_per_exec
+
+    @property
+    def speedup(self) -> float:
+        if self.dynamic_per_exec == 0:
+            return float("inf")
+        return self.static_per_exec / self.dynamic_per_exec
+
+    @property
+    def overhead_cycles(self) -> int:
+        """One-time dynamic-compilation cost: set-up + stitcher."""
+        return self.setup_cycles + self.stitcher_cycles
+
+    @property
+    def breakeven_runs(self) -> Optional[int]:
+        """Executions at which dynamic compilation has paid for itself,
+        or None when it never does."""
+        saved = self.saved_per_exec
+        if saved <= 0:
+            return None
+        return math.ceil(self.overhead_cycles / saved)
+
+    @property
+    def cycles_per_stitched_instr(self) -> float:
+        return self.overhead_cycles / max(1, self.instrs_stitched)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-stable rendering (raw fields + derived metrics)."""
+        breakeven = self.breakeven_runs
+        return {
+            "region": "%s:%d" % (self.func_name, self.region_id),
+            "executions": self.executions,
+            "stitches": self.stitches,
+            "cache_hits": self.cache_hits,
+            "static_cycles": self.static_cycles,
+            "stitched_cycles": self.stitched_cycles,
+            "dispatch_cycles": self.dispatch_cycles,
+            "setup_cycles": self.setup_cycles,
+            "stitcher_cycles": self.stitcher_cycles,
+            "instrs_stitched": self.instrs_stitched,
+            "overhead_cycles": self.overhead_cycles,
+            "static_per_exec": round(self.static_per_exec, 4),
+            "dynamic_per_exec": round(self.dynamic_per_exec, 4),
+            "saved_per_exec": round(self.saved_per_exec, 4),
+            "speedup": round(self.speedup, 4),
+            "breakeven_runs": breakeven,
+            "cycles_per_stitched_instr": round(
+                self.cycles_per_stitched_instr, 4),
+        }
+
+
+def rows_from_results(static_result, dynamic_result) -> List[BreakEvenRow]:
+    """Per-region break-even rows from one static + one dynamic run of
+    the same program on the same inputs."""
+    entries: Dict[RegionKey, int] = dict(
+        getattr(dynamic_result, "region_entries", {}) or {})
+    # Regions can also be discovered from stitch reports (defensive:
+    # a region stitched but never counted would still get a row).
+    keys = set(entries)
+    for report in dynamic_result.stitch_reports:
+        keys.add((report.func_name, report.region_id))
+    rows: List[BreakEvenRow] = []
+    hits = getattr(dynamic_result, "cache_hits", []) or []
+    for func_name, region_id in sorted(keys):
+        key = (func_name, region_id)
+        suffix = "%s:%d" % key
+        dyn = dynamic_result.cycles_by_owner
+        reports = [r for r in dynamic_result.stitch_reports
+                   if (r.func_name, r.region_id) == key]
+        rows.append(BreakEvenRow(
+            func_name=func_name,
+            region_id=region_id,
+            executions=entries.get(key, 0),
+            stitches=len(reports),
+            cache_hits=sum(1 for h in hits
+                           if (h.func_name, h.region_id) == key),
+            static_cycles=static_result.cycles_by_owner.get(
+                "region:" + suffix, 0),
+            stitched_cycles=dyn.get("stitched:" + suffix, 0),
+            dispatch_cycles=dyn.get("dispatch:" + suffix, 0),
+            setup_cycles=dyn.get("setup:" + suffix, 0),
+            stitcher_cycles=dyn.get("stitcher:" + suffix, 0),
+            instrs_stitched=sum(r.instrs_emitted for r in reports),
+        ))
+    return rows
+
+
+def break_even_source(source: str, args: Optional[List[int]] = None,
+                      max_cycles: int = 4_000_000_000,
+                      **compile_kwargs) -> List[BreakEvenRow]:
+    """Compile ``source`` both ways, run both, report per region.
+
+    ``compile_kwargs`` pass through to
+    :func:`repro.runtime.engine.compile_program` (opt_options,
+    stitcher_costs, use_reachability, ...).
+    """
+    from ..runtime.engine import compile_program
+    static_program = compile_program(source, mode="static",
+                                     **compile_kwargs)
+    dynamic_program = compile_program(source, mode="dynamic",
+                                      **compile_kwargs)
+    static_result = static_program.run(args=args, max_cycles=max_cycles)
+    dynamic_result = dynamic_program.run(args=args, max_cycles=max_cycles)
+    if static_result.value != dynamic_result.value:
+        raise AssertionError(
+            "break-even run diverged: static %r != dynamic %r"
+            % (static_result.value, dynamic_result.value))
+    return rows_from_results(static_result, dynamic_result)
+
+
+def break_even_workload(workload,
+                        max_cycles: int = 4_000_000_000,
+                        **compile_kwargs) -> List[BreakEvenRow]:
+    """Break-even rows for a bench :class:`Workload` (sanity-checks the
+    expected result when the workload declares one)."""
+    from ..runtime.engine import compile_program
+    static_program = compile_program(workload.source, mode="static",
+                                     **compile_kwargs)
+    dynamic_program = compile_program(workload.source, mode="dynamic",
+                                      **compile_kwargs)
+    static_result = static_program.run(max_cycles=max_cycles)
+    dynamic_result = dynamic_program.run(max_cycles=max_cycles)
+    for leg, result in (("static", static_result),
+                        ("dynamic", dynamic_result)):
+        if workload.expected is not None \
+                and result.value != workload.expected:
+            raise AssertionError(
+                "%s: %s result %d != expected %d"
+                % (workload.name, leg, result.value, workload.expected))
+    return rows_from_results(static_result, dynamic_result)

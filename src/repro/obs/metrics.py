@@ -1,0 +1,257 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Zero-dependency, inspired by the Prometheus client model but built for
+a simulator: instruments are cheap Python objects registered by name in
+a process-wide :data:`registry`, and *every* mutating operation first
+checks one plain attribute (``registry._enabled``), so the disabled
+path costs a single attribute load and branch -- no dict lookups, no
+allocation.  The registry ships disabled; ``repro.obs.enable_metrics``
+(or ``MetricsRegistry.enable``) turns collection on.
+
+Instrument naming convention: dot-separated, lowercase,
+``<component>.<thing>[.<detail>]`` -- e.g. ``stitch.instrs_emitted``,
+``cache.hits``, ``opt.fold.rewrites``.  The full inventory of metric
+names emitted by the pipeline hooks lives in docs/OBSERVABILITY.md.
+
+Observer-effect contract: metrics (like tracing) live entirely on the
+host side.  Enabling or disabling them never changes simulated cycles,
+stitch reports, or any other VM observable -- the parity tests enforce
+this bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (powers of 4 cover cycle-ish
+#: magnitudes from single instructions to whole-region stitches).
+DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+class MetricError(Exception):
+    """Instrument re-registered with a different type, or bad buckets."""
+
+
+class Counter:
+    """Monotonically increasing count.  ``inc`` is a no-op while the
+    owning registry is disabled."""
+
+    __slots__ = ("name", "help", "_registry", "value")
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = ""):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if not self._registry._enabled:
+            return
+        if amount < 0:
+            raise MetricError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Number]:
+        return {"type": "counter", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down (e.g. code-cache population)."""
+
+    __slots__ = ("name", "help", "_registry", "value")
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = ""):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def set(self, value: Number) -> None:
+        if not self._registry._enabled:
+            return
+        self.value = value
+
+    def add(self, amount: Number) -> None:
+        if not self._registry._enabled:
+            return
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Number]:
+        return {"type": "gauge", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """Distribution summary: count / sum / min / max plus cumulative
+    bucket counts (``le`` upper bounds, +Inf implicit)."""
+
+    __slots__ = ("name", "help", "_registry", "buckets", "bucket_counts",
+                 "count", "sum", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = "",
+                 buckets: Sequence[Number] = DEFAULT_BUCKETS):
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError(
+                "histogram %s buckets must be strictly increasing" % name)
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # trailing +Inf
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        if not self._registry._enabled:
+            return
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {("le_%g" % b): c for b, c in
+                        zip(self.buckets, self.bucket_counts)},
+            "inf": self.bucket_counts[-1],
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Names -> instruments; disabled (free) until :meth:`enable`.
+
+    Instruments are created on first request and returned on every
+    subsequent one; requesting an existing name as a different kind is
+    an error (it would silently split a metric).  Creation works while
+    disabled -- call sites can cache instruments at import time -- and
+    updates start flowing the moment the registry is enabled.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Zero every instrument (registration is kept)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument (tests)."""
+        self._instruments.clear()
+
+    # -- instrument accessors ----------------------------------------------
+
+    def _get(self, name: str, kind: type, **kwargs) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(self, name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise MetricError(
+                "metric %r already registered as %s, not %s"
+                % (name, instrument.kind, kind.kind))
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[Number] = DEFAULT_BUCKETS) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(self, name, help=help, buckets=buckets)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise MetricError(
+                "metric %r already registered as %s, not histogram"
+                % (name, instrument.kind))
+        return instrument
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time values of every registered instrument."""
+        return {name: inst.snapshot()
+                for name, inst in sorted(self._instruments.items())}
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+
+def format_snapshot(snap: Dict[str, Dict[str, object]]) -> str:
+    """Human-readable one-line-per-metric rendering of a snapshot."""
+    lines = []
+    for name, data in sorted(snap.items()):
+        if data["type"] == "histogram":
+            lines.append(
+                "%-40s count=%d sum=%s min=%s max=%s"
+                % (name, data["count"], data["sum"], data["min"],
+                   data["max"]))
+        else:
+            lines.append("%-40s %s" % (name, data["value"]))
+    return "\n".join(lines)
+
+
+#: The process-wide registry every pipeline hook reports into.
+registry = MetricsRegistry()

@@ -1,0 +1,284 @@
+"""Structured event tracing for the compile -> stitch -> execute pipeline.
+
+The tracer records *events* -- complete spans (``ph: "X"``, with host
+wall-clock duration) and instants (``ph: "i"``) -- in the Chrome
+trace-event format, so a dump loads directly into Perfetto
+(ui.perfetto.dev), chrome://tracing or speedscope.  Two serializations:
+
+* **JSONL** -- one event object per line (stream-friendly; what the
+  fuzzer dumps next to reproducers);
+* **Chrome JSON** -- ``{"traceEvents": [...]}`` (what Perfetto loads).
+
+Event schema (validated by :func:`validate_events`):
+
+========  ======================================================
+field     meaning
+========  ======================================================
+``name``  event name, dot-separated (``stitch.region``, ``opt.pass``)
+``cat``   category: ``frontend`` | ``opt`` | ``analysis`` |
+          ``split`` | ``codegen`` | ``stitch`` | ``runtime`` |
+          ``vm`` | ``bench``
+``ph``    ``"X"`` (complete span) or ``"i"`` (instant)
+``ts``    microseconds since the tracer was created (host clock)
+``dur``   span duration in microseconds (``X`` only, >= 0)
+``pid``   always 0 (one simulated process)
+``tid``   always 0
+``args``  event payload (JSON-serializable dict)
+``s``     instant scope, always ``"t"`` (``i`` only)
+========  ======================================================
+
+Timestamps are host wall-clock; *simulated* cycle figures ride in
+``args`` where a stage knows them.  Tracing never touches the VM's
+cycle accounting: a traced run and an untraced run produce bit-identical
+simulated observables (enforced by tests/test_obs_parity.py).
+
+Installation is process-wide and explicitly opt-in::
+
+    tracer = Tracer()
+    with tracing(tracer):
+        program = compile_program(src)
+        program.run()
+    tracer.write_chrome("trace.json")
+
+Hook sites throughout the pipeline call the module-level :func:`span`
+and :func:`instant` helpers, which are no-ops (one global load, one
+``is None`` branch) while no tracer is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
+
+VALID_CATEGORIES = frozenset([
+    "frontend", "opt", "analysis", "split", "codegen", "stitch",
+    "runtime", "vm", "bench", "fuzz",
+])
+
+VALID_PHASES = frozenset(["X", "i"])
+
+
+class Tracer:
+    """An event buffer with span/instant recording.
+
+    ``max_events`` bounds memory; with ``ring=True`` old events are
+    discarded to keep the newest (the fuzzer's "last N events before
+    the divergence" mode), otherwise new events are dropped once full
+    and counted in :attr:`dropped`.
+    """
+
+    def __init__(self, max_events: int = 1_000_000, ring: bool = False):
+        self.ring = ring
+        self.max_events = max_events
+        if ring:
+            self.events: "deque[dict]" = deque(maxlen=max_events)
+        else:
+            self.events = []  # type: ignore[assignment]
+        self.dropped = 0
+        self._t0 = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def _append(self, event: dict) -> None:
+        if not self.ring and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str, **args) -> None:
+        self._append({"name": name, "cat": cat, "ph": "i",
+                      "ts": self._now_us(), "pid": 0, "tid": 0,
+                      "s": "t", "args": args})
+
+    @contextmanager
+    def span(self, name: str, cat: str, **args):
+        """Record a complete ("X") event around the body.
+
+        Yields the ``args`` dict -- the body may add result fields
+        (counts, deltas) and they land in the recorded event.
+        """
+        start = self._now_us()
+        try:
+            yield args
+        finally:
+            self._append({"name": name, "cat": cat, "ph": "X",
+                          "ts": start, "dur": self._now_us() - start,
+                          "pid": 0, "tid": 0, "args": args})
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def tail(self, n: Optional[int] = None) -> List[dict]:
+        """The last ``n`` events (all, if ``n`` is None), oldest first."""
+        events = list(self.events)
+        return events if n is None else events[-n:]
+
+    def by_name(self, name: str) -> List[dict]:
+        return [e for e in self.events if e["name"] == name]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        return {"traceEvents": list(self.events),
+                "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+            handle.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event) + "\n")
+
+    def dumps_jsonl(self) -> str:
+        return "".join(json.dumps(event) + "\n" for event in self.events)
+
+
+def dumps_event(event: dict) -> str:
+    """One event as a JSONL line (no trailing newline)."""
+    return json.dumps(event)
+
+
+# -- process-wide installation ---------------------------------------------
+
+#: The installed tracer, or None (tracing disabled -- the common case).
+#: Hook sites read this module attribute directly; keeping it a plain
+#: global makes the disabled check one LOAD_GLOBAL + POP_JUMP.
+_current: Optional[Tracer] = None
+
+
+def current() -> Optional[Tracer]:
+    return _current
+
+
+def install(tracer: Optional[Tracer]) -> None:
+    global _current
+    _current = tracer
+
+
+@contextmanager
+def tracing(tracer: Tracer):
+    """Install ``tracer`` for the duration of the block."""
+    previous = _current
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, cat: str, **args):
+    """A span on the installed tracer, or a shared null context."""
+    tracer = _current
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat, **args)
+
+
+def instant(name: str, cat: str, **args) -> None:
+    tracer = _current
+    if tracer is not None:
+        tracer.instant(name, cat, **args)
+
+
+# -- validation (tests + `python -m repro.obs validate`) -------------------
+
+def validate_events(events: Iterable[dict]) -> List[str]:
+    """Schema errors in ``events`` (empty list == valid)."""
+    errors: List[str] = []
+    for i, event in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(event, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append("%s: missing/empty name" % where)
+        else:
+            where = "event %d (%s)" % (i, name)
+        cat = event.get("cat")
+        if not isinstance(cat, str) or cat not in VALID_CATEGORIES:
+            errors.append("%s: bad category %r" % (where, cat))
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            errors.append("%s: bad phase %r" % (where, phase))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append("%s: bad ts %r" % (where, ts))
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append("%s: bad dur %r" % (where, dur))
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            errors.append("%s: instant missing scope" % where)
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                errors.append("%s: bad %s" % (where, field))
+        args = event.get("args")
+        if not isinstance(args, dict):
+            errors.append("%s: args must be an object" % where)
+        else:
+            try:
+                json.dumps(args)
+            except (TypeError, ValueError) as exc:
+                errors.append("%s: args not JSON-serializable (%s)"
+                              % (where, exc))
+    return errors
+
+
+def validate_chrome(obj: object) -> List[str]:
+    """Validate a loaded Chrome trace-event JSON document."""
+    if not isinstance(obj, dict):
+        return ["top level must be an object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    return validate_events(events)
+
+
+def load_trace(path: str) -> List[dict]:
+    """Load events from either serialization (sniffed by content):
+    a Chrome document parses whole as one object with ``traceEvents``;
+    anything else is treated as JSONL, one event per line."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        document = json.loads(text)
+    except ValueError:
+        document = None
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if isinstance(events, list):
+            return events
+        if "ph" in document:  # a one-line JSONL file
+            return [document]
+        raise ValueError("no traceEvents array in %s" % path)
+    if document is not None:  # a single JSONL event, or a bare list
+        return document if isinstance(document, list) else [document]
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -16,6 +16,7 @@ from typing import List
 
 from ..ir.cfg import Function
 from ..ir.ssa import eliminate_dead_phis
+from ..obs import trace as obs_trace
 from .copyprop import copy_propagation
 from .cse import common_subexpression_elimination
 from .dce import dead_code_elimination
@@ -53,37 +54,49 @@ class OptOptions:
     max_rounds: int = 8
 
 
+def _dce_pass(func: Function) -> int:
+    return dead_code_elimination(func) + eliminate_dead_phis(func)
+
+
+#: (pass name, OptOptions toggle or None for always-on, OptStats field
+#: or None for unattributed, pass function).  Order is the round order.
+_PASS_ORDER = (
+    ("fold", "fold", "folds", fold_constants),
+    ("algebraic", "algebraic", "algebraic", simplify_algebraic),
+    ("phis", None, None, simplify_phis),
+    ("copyprop", "copyprop", "copies", copy_propagation),
+    ("cse", "cse", "cse", common_subexpression_elimination),
+    ("dce", "dce", "dead", _dce_pass),
+    ("merge", "merge", "merged_blocks", merge_blocks),
+)
+
+
+def _ir_size(func: Function) -> int:
+    """Instruction count incl. phis and terminators (trace size deltas)."""
+    return sum(len(block.all_instrs()) for block in func.blocks.values())
+
+
 def optimize(func: Function, options: OptOptions = OptOptions()) -> OptStats:
     """Optimize an SSA-form function in place; returns pass statistics."""
     stats = OptStats()
     for _ in range(options.max_rounds):
         round_changes = 0
-        if options.fold:
-            n = fold_constants(func)
-            stats.folds += n
-            round_changes += n
-        if options.algebraic:
-            n = simplify_algebraic(func)
-            stats.algebraic += n
-            round_changes += n
-        n = simplify_phis(func)
-        round_changes += n
-        if options.copyprop:
-            n = copy_propagation(func)
-            stats.copies += n
-            round_changes += n
-        if options.cse:
-            n = common_subexpression_elimination(func)
-            stats.cse += n
-            round_changes += n
-        if options.dce:
-            n = dead_code_elimination(func)
-            n += eliminate_dead_phis(func)
-            stats.dead += n
-            round_changes += n
-        if options.merge:
-            n = merge_blocks(func)
-            stats.merged_blocks += n
+        for name, toggle, stat_field, pass_fn in _PASS_ORDER:
+            if toggle is not None and not getattr(options, toggle):
+                continue
+            if obs_trace._current is None:
+                n = pass_fn(func)
+            else:
+                with obs_trace.span("opt." + name, "opt",
+                                    func=func.name,
+                                    round=stats.rounds) as span:
+                    before = _ir_size(func)
+                    n = pass_fn(func)
+                    span["rewrites"] = n
+                    span["instrs_before"] = before
+                    span["instrs_after"] = _ir_size(func)
+            if stat_field is not None:
+                setattr(stats, stat_field, getattr(stats, stat_field) + n)
             round_changes += n
         stats.rounds += 1
         if round_changes == 0:

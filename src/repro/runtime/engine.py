@@ -19,8 +19,9 @@ Modes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
 from ..codegen.lower import DataLayout, lower_module
 from ..codegen.objects import CompiledFunction, RegionCode
@@ -35,9 +36,25 @@ from ..machine.costs import StitcherCosts
 from ..machine.isa import ARG_BASE, CPOOL, MInstr
 from ..machine.loader import load_program
 from ..machine.vm import VM, VMError
+from ..obs import trace as obs_trace
+from ..obs.metrics import registry as obs_metrics
 from ..opt.pipeline import OptOptions, OptStats, optimize
 
 Number = Union[int, float]
+
+
+class CacheHit(NamedTuple):
+    """A region entry served from the keyed code cache.
+
+    Recorded by the region runtime so post-run accounting sees *every*
+    region execution, not just the ones that stitched: region entries
+    == cache hits + stitch reports (the oracle checks this invariant).
+    """
+
+    func_name: str
+    region_id: int
+    key: Tuple[Number, ...]
+    entry: int
 
 
 @dataclass
@@ -53,6 +70,11 @@ class RunResult:
     stitch_reports: List[StitchReport] = field(default_factory=list)
     #: executed-instruction histogram by opcode.
     op_counts: Dict[str, int] = field(default_factory=dict)
+    #: (func, region_id) -> region entries (cache hits + misses).
+    region_entries: Dict[Tuple[str, int], int] = field(
+        default_factory=dict)
+    #: cache-hit events, one per entry that reused stitched code.
+    cache_hits: List[CacheHit] = field(default_factory=list)
 
     def owner_cycles(self, prefix: str) -> int:
         """Total cycles across owners starting with ``prefix``."""
@@ -161,8 +183,18 @@ class Program:
         preload: List[Tuple[int, Number]] = []
         for i, arg in enumerate(args or []):
             preload.append((ARG_BASE + i, arg))
-        int_result, float_result = vm.run(entry_fn.base, preload,
-                                          dispatch=dispatch)
+        with obs_trace.span("vm.run", "vm", func=func, mode=self.mode,
+                            dispatch=dispatch) as span:
+            int_result, float_result = vm.run(entry_fn.base, preload,
+                                              dispatch=dispatch)
+            if span is not None:
+                span["cycles"] = vm.cycles
+                span["value"] = int_result
+                span["stitches"] = len(runtime.reports)
+                span["cache_hits"] = len(runtime.cache_hits)
+        if obs_metrics._enabled:
+            obs_metrics.counter("vm.runs").inc()
+            obs_metrics.counter("vm.cycles").inc(vm.cycles)
         return RunResult(
             value=int_result,
             float_value=float_result,
@@ -172,6 +204,8 @@ class Program:
             instrs_by_owner=dict(vm.instrs_by_owner),
             stitch_reports=runtime.reports,
             op_counts=dict(vm.op_counts),
+            region_entries=dict(runtime.entries),
+            cache_hits=runtime.cache_hits,
         )
 
 
@@ -185,6 +219,9 @@ class _RegionRuntime:
         self.cache: Dict[Tuple[str, int, Tuple[Number, ...]],
                          Tuple[int, int]] = {}
         self.reports: List[StitchReport] = []
+        #: (func, region_id) -> entries (every lookup, hit or miss).
+        self.entries: Dict[Tuple[str, int], int] = {}
+        self.cache_hits: List[CacheHit] = []
         self._regions: Dict[Tuple[str, int], RegionCode] = {}
         for function in program.compiled.values():
             for region in function.regions:
@@ -197,10 +234,29 @@ class _RegionRuntime:
     def lookup(self, vm: VM, instr: MInstr) -> int:
         func, region_id = instr.extra  # type: ignore[misc]
         region = self._regions[(func, region_id)]
-        cached = self.cache.get((func, region_id, self._key(region)))
+        key = self._key(region)
+        entries = self.entries
+        region_key = (func, region_id)
+        entries[region_key] = entries.get(region_key, 0) + 1
+        cached = self.cache.get((func, region_id, key))
         if cached is None:
+            # Miss: the dispatch glue falls through to region_stitch,
+            # which records the StitchReport (so misses == stitches).
+            if obs_metrics._enabled:
+                obs_metrics.counter("cache.misses").inc()
+            if obs_trace._current is not None:
+                obs_trace.instant("cache.miss", "runtime",
+                                  region="%s:%d" % region_key,
+                                  key=list(key))
             return 0
         entry, pool_base = cached
+        self.cache_hits.append(CacheHit(func, region_id, key, entry))
+        if obs_metrics._enabled:
+            obs_metrics.counter("cache.hits").inc()
+        if obs_trace._current is not None:
+            obs_trace.instant("cache.hit", "runtime",
+                              region="%s:%d" % region_key,
+                              key=list(key), entry=entry)
         vm.regs[CPOOL] = pool_base
         return entry
 
@@ -210,6 +266,7 @@ class _RegionRuntime:
         table_addr = int(vm.regs[ARG_BASE])
         key = tuple(vm.regs[ARG_BASE + 1 + i]
                     for i in range(region.key_count))
+        host_start = time.perf_counter()
         report = stitch_region(vm, self.program.compiled[func], region,
                                table_addr, self.program.stitcher_costs,
                                key=key,
@@ -217,6 +274,17 @@ class _RegionRuntime:
                                functions=self.program.compiled)
         self.reports.append(report)
         self.cache[(func, region_id, key)] = (report.entry, report.pool_base)
+        if obs_metrics._enabled:
+            obs_metrics.counter("stitch.count").inc()
+            obs_metrics.counter("stitch.instrs_emitted").inc(
+                report.instrs_emitted)
+            obs_metrics.counter("stitch.holes_patched").inc(
+                report.holes_patched)
+            obs_metrics.counter("stitch.pool_entries").inc(
+                report.pool_entries)
+            obs_metrics.histogram("stitch.cycles").observe(report.cycles)
+            obs_metrics.histogram("stitch.host_seconds").observe(
+                time.perf_counter() - host_start)
         vm.regs[CPOOL] = report.pool_base
         return report.entry
 
@@ -236,7 +304,17 @@ def compile_program(source: str, mode: str = "dynamic",
     """
     if mode not in ("dynamic", "static"):
         raise ValueError("mode must be 'dynamic' or 'static'")
-    module = build_module(check(parse(source)), name=module_name)
+    with obs_trace.span("frontend.parse", "frontend",
+                        chars=len(source)) as span:
+        ast = parse(source)
+        if span is not None:
+            span["decls"] = len(ast.decls)
+    with obs_trace.span("frontend.typecheck", "frontend"):
+        ast = check(ast)
+    with obs_trace.span("ir.build", "frontend", module=module_name) as span:
+        module = build_module(ast, name=module_name)
+        if span is not None:
+            span["functions"] = len(module.functions)
     return compile_ir_module(module, mode=mode, opt_options=opt_options,
                              use_reachability=use_reachability,
                              stitcher_costs=stitcher_costs,
@@ -285,7 +363,11 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
         stats[func.name] = optimize(func, opt_options)
     plans: List[RegionPlan] = []
     if mode == "dynamic":
-        plans = split_module(module, use_reachability=use_reachability)
+        with obs_trace.span("split.module", "split") as span:
+            plans = split_module(module,
+                                 use_reachability=use_reachability)
+            if span is not None:
+                span["regions"] = len(plans)
     plans_by_func: Dict[str, List[RegionPlan]] = {}
     for plan in plans:
         plans_by_func.setdefault(plan.func_name, []).append(plan)
@@ -296,9 +378,14 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                                  split_records)
     layout = DataLayout()
     layout.add_module_globals(module)
-    compiled = lower_module(
-        module, layout, plans_by_func,
-        reserve_action_regs=8 if register_actions else 0)
+    with obs_trace.span("codegen.lower", "codegen", mode=mode) as span:
+        compiled = lower_module(
+            module, layout, plans_by_func,
+            reserve_action_regs=8 if register_actions else 0)
+        if span is not None:
+            span["functions"] = len(compiled)
+            span["instrs"] = sum(len(cf.code)
+                                 for cf in compiled.values())
     return Program(compiled, layout, mode, plans,
                    stitcher_costs or StitcherCosts(), stats,
                    register_actions=register_actions)

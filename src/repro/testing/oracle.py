@@ -255,6 +255,27 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
             failures.append(
                 "stitcher emitted unreachable (dead-branch) code at "
                 "pcs %s" % dead[:8])
+    # Region-entry accounting: every lookup is either a cache hit or a
+    # stitch, so per region entries == hits + stitches (the cache-hit
+    # path records CacheHit events precisely so this can be checked).
+    entries = getattr(result, "region_entries", None)
+    if entries is not None:
+        stitches: Dict[Tuple[str, int], int] = {}
+        for report in result.stitch_reports:
+            key = (report.func_name, report.region_id)
+            stitches[key] = stitches.get(key, 0) + 1
+        hits: Dict[Tuple[str, int], int] = {}
+        for hit in getattr(result, "cache_hits", []) or []:
+            key = (hit.func_name, hit.region_id)
+            hits[key] = hits.get(key, 0) + 1
+        for key in set(entries) | set(stitches) | set(hits):
+            observed = entries.get(key, 0)
+            expected = hits.get(key, 0) + stitches.get(key, 0)
+            if observed != expected:
+                failures.append(
+                    "region %s:%d: %d entries != %d cache hits + %d "
+                    "stitches" % (key[0], key[1], observed,
+                                  hits.get(key, 0), stitches.get(key, 0)))
     return failures
 
 

@@ -1,0 +1,129 @@
+"""CLI tests for the observability surface.
+
+Covers ``python -m repro.obs`` (report / trace / profile / validate),
+the ``--trace``/``--metrics`` flags on ``python -m repro``, and the
+``--breakeven`` flag on ``python -m repro.bench``.  The report golden
+check runs in-process (subprocess startup would dominate) against the
+same workload pinned in tests/golden_breakeven.json.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+
+GOLDEN_PATH = Path(__file__).parent / "golden_breakeven.json"
+
+PROGRAM = """
+int f(int c, int v) {
+    dynamicRegion (c) {
+        return c * 6 + v;
+    }
+}
+int main() {
+    int t = 0; int i;
+    for (i = 0; i < 4; i++) t += f(7, i);
+    return t;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_report_matches_golden(tmp_path, capsys):
+    json_path = tmp_path / "rows.json"
+    code = obs_main(["report", "--only", "sparse",
+                     "--json", str(json_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    # The table's header and the region row are present.
+    assert "breakeven" in out
+    assert "spmv:1" in out
+    golden = json.loads(GOLDEN_PATH.read_text())
+    written = json.loads(json_path.read_text())
+    # The bench-scale sparse workload (24x24) differs from the golden's
+    # test-scale one (12x12); both must at least report the region.
+    assert any("spmv:1" == row["region"]
+               for rows in written.values() for row in rows)
+    assert golden["rows"][0]["region"] == "spmv:1"
+
+
+def test_trace_subcommand_writes_valid_chrome(tmp_path, source_file,
+                                              capsys):
+    out_path = tmp_path / "trace.json"
+    code = obs_main(["trace", source_file, "--out", str(out_path)])
+    assert code == 0
+    document = json.loads(out_path.read_text())
+    assert isinstance(document["traceEvents"], list)
+    assert document["traceEvents"], "empty trace"
+    assert obs_main(["validate", str(out_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_trace_subcommand_jsonl_and_metrics(tmp_path, source_file,
+                                            capsys):
+    out_path = tmp_path / "trace.jsonl"
+    code = obs_main(["trace", source_file, "--out", str(out_path),
+                     "--format", "jsonl", "--metrics"])
+    assert code == 0
+    lines = [json.loads(line)
+             for line in out_path.read_text().splitlines() if line]
+    assert any(event["name"] == "stitch.region" for event in lines)
+    out = capsys.readouterr().out
+    assert "cache.hits" in out
+    assert "vm.runs" in out
+
+
+def test_profile_subcommand(source_file, capsys):
+    code = obs_main(["profile", source_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "simulated-cycle profile" in out
+    assert "stitched" in out
+    assert "f:1" in out
+    assert "breakeven" in out  # dynamic mode adds the break-even table
+
+
+def test_validate_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"nope": 1}]}')
+    assert obs_main(["validate", str(bad)]) == 1
+    missing = tmp_path / "missing.json"
+    assert obs_main(["validate", str(missing)]) == 2
+
+
+def test_main_cli_trace_flag(tmp_path, source_file):
+    trace_path = tmp_path / "cli.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", source_file,
+         "--trace", str(trace_path), "--metrics"],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "=> 174" in proc.stdout
+    assert "vm.runs" in proc.stdout
+    assert "wrote trace" in proc.stderr
+    document = json.loads(trace_path.read_text())
+    assert document["traceEvents"]
+
+
+def test_bench_breakeven_flag(tmp_path):
+    trace_path = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--only", "calculator",
+         "--breakeven", "--trace", str(trace_path)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    assert "break-even, live per region" in proc.stdout
+    assert "calc:1" in proc.stdout
+    assert trace_path.exists()

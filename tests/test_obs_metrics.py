@@ -1,0 +1,145 @@
+"""Metrics-registry semantics (repro.obs.metrics).
+
+The registry's contract: instruments are create-or-return by name,
+every mutation is a no-op while the registry is disabled, re-requesting
+a name as a different kind is an error, and snapshots are plain JSON
+data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS, MetricError, MetricsRegistry, format_snapshot,
+)
+
+
+@pytest.fixture
+def reg():
+    registry = MetricsRegistry()
+    registry.enable()
+    return registry
+
+
+def test_disabled_by_default_and_noop():
+    registry = MetricsRegistry()
+    assert not registry.enabled
+    counter = registry.counter("c")
+    gauge = registry.gauge("g")
+    histogram = registry.histogram("h")
+    counter.inc(100)
+    gauge.set(7)
+    gauge.add(3)
+    histogram.observe(42)
+    assert counter.value == 0
+    assert gauge.value == 0
+    assert histogram.count == 0 and histogram.sum == 0
+    assert histogram.min is None and histogram.max is None
+
+
+def test_enable_starts_collection_on_cached_instruments():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")  # cached while disabled
+    counter.inc()
+    assert counter.value == 0
+    registry.enable()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    registry.disable()
+    counter.inc()
+    assert counter.value == 5
+
+
+def test_counter_semantics(reg):
+    counter = reg.counter("stitch.count")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+    assert reg.counter("stitch.count") is counter
+
+
+def test_gauge_semantics(reg):
+    gauge = reg.gauge("cache.size")
+    gauge.set(10)
+    gauge.add(-3)
+    assert gauge.value == 7
+    gauge.set(0)
+    assert gauge.value == 0
+
+
+def test_histogram_buckets_and_stats(reg):
+    histogram = reg.histogram("lat", buckets=(1, 10, 100))
+    for value in (0, 1, 5, 10, 50, 1000):
+        histogram.observe(value)
+    assert histogram.count == 6
+    assert histogram.sum == 1066
+    assert histogram.min == 0 and histogram.max == 1000
+    assert histogram.mean == pytest.approx(1066 / 6)
+    # cumulative-by-construction: each observation lands in exactly one
+    # bucket; le_1 gets 0 and 1, le_10 gets 5 and 10, le_100 gets 50,
+    # and 1000 overflows to +Inf.
+    assert histogram.bucket_counts == [2, 2, 1, 1]
+
+
+def test_histogram_bad_buckets(reg):
+    with pytest.raises(MetricError):
+        reg.histogram("bad", buckets=(10, 1))
+    with pytest.raises(MetricError):
+        reg.histogram("dup", buckets=(1, 1, 2))
+
+
+def test_kind_mismatch_raises(reg):
+    reg.counter("x")
+    with pytest.raises(MetricError):
+        reg.gauge("x")
+    with pytest.raises(MetricError):
+        reg.histogram("x")
+    reg.gauge("y")
+    with pytest.raises(MetricError):
+        reg.counter("y")
+
+
+def test_snapshot_is_json_and_sorted(reg):
+    reg.counter("b.count").inc(2)
+    reg.gauge("a.level").set(-4)
+    reg.histogram("c.hist").observe(3)
+    snap = reg.snapshot()
+    assert list(snap) == sorted(snap)
+    json.dumps(snap)  # must be JSON-serializable as-is
+    assert snap["b.count"] == {"type": "counter", "value": 2}
+    assert snap["a.level"] == {"type": "gauge", "value": -4}
+    hist = snap["c.hist"]
+    assert hist["type"] == "histogram"
+    assert hist["count"] == 1 and hist["sum"] == 3
+    assert hist["buckets"]["le_4"] == 1
+
+
+def test_reset_zeroes_but_keeps_registration(reg):
+    counter = reg.counter("c")
+    histogram = reg.histogram("h")
+    counter.inc(5)
+    histogram.observe(9)
+    reg.reset()
+    assert counter.value == 0
+    assert histogram.count == 0 and histogram.min is None
+    assert reg.counter("c") is counter  # same object survives reset
+    reg.clear()
+    assert reg.counter("c") is not counter
+
+
+def test_default_buckets_strictly_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+def test_format_snapshot_renders_every_metric(reg):
+    reg.counter("runs").inc(3)
+    reg.histogram("cyc").observe(10)
+    text = format_snapshot(reg.snapshot())
+    assert "runs" in text and "3" in text
+    assert "cyc" in text and "count=1" in text
