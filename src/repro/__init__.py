@@ -27,6 +27,9 @@ See ``examples/quickstart.py`` for the paper's cache-lookup example
 end to end.
 """
 
+from .codecache import (
+    CacheConfig, CacheKey, CacheStats, CachedEntry, CodeCache,
+)
 from .frontend.errors import (
     AnnotationError, CompileError, LexError, ParseError, TypeError_,
 )
@@ -43,6 +46,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnnotationError",
+    "CacheConfig",
+    "CacheKey",
+    "CacheStats",
+    "CachedEntry",
+    "CodeCache",
     "CompileError",
     "FUSED_STITCHER",
     "Interpreter",

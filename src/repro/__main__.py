@@ -43,6 +43,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              "extension")
     parser.add_argument("--fused-stitcher", action="store_true",
                         help="use the fused (cheap) stitcher cost model")
+    parser.add_argument("--cache-policy",
+                        choices=["unbounded", "lru", "cost-aware"],
+                        default="unbounded",
+                        help="code-cache eviction policy (default: "
+                             "unbounded, nothing ever evicted)")
+    parser.add_argument("--cache-entries", type=int, default=None,
+                        metavar="N",
+                        help="cap the code cache at N live stitched "
+                             "entries (requires a non-unbounded policy)")
+    parser.add_argument("--cache-words", type=int, default=None,
+                        metavar="W",
+                        help="cap the code cache at W live code words")
     parser.add_argument("--no-reachability", action="store_true",
                         help="disable the reachability analysis "
                              "(ablation)")
@@ -121,6 +133,10 @@ def _run(args, source: str) -> int:
         print(format_module(module))
         print()
 
+    from .codecache import CacheConfig
+    cache_config = CacheConfig(policy=args.cache_policy,
+                               max_entries=args.cache_entries,
+                               max_words=args.cache_words)
     try:
         program = compile_program(
             source,
@@ -128,6 +144,7 @@ def _run(args, source: str) -> int:
             use_reachability=not args.no_reachability,
             stitcher_costs=FUSED_STITCHER if args.fused_stitcher else None,
             register_actions=args.register_actions,
+            cache_config=cache_config,
         )
     except CompileError as exc:
         print("compile error: %s" % exc, file=sys.stderr)
@@ -159,6 +176,15 @@ def _run(args, source: str) -> int:
     for value in result.output:
         print(value)
     print("=> %s  (%d cycles)" % (result.value, result.cycles))
+
+    stats = result.cache_stats
+    if stats is not None and stats.bounded:
+        print("cache[%s]: %d hits, %d misses, %d evictions, "
+              "%d compactions, %d invalidations, %d re-stitches, "
+              "%d live entries (%d words)"
+              % (stats.policy, stats.hits, stats.misses, stats.evictions,
+                 stats.compactions, stats.invalidations, stats.restitches,
+                 stats.live_entries, stats.live_code_words))
 
     if args.stats:
         print()

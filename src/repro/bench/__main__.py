@@ -55,6 +55,9 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--breakeven", action="store_true",
                         help="also print the live per-region break-even "
                              "table (python -m repro.obs report)")
+    parser.add_argument("--no-cache-pressure", action="store_true",
+                        help="skip the cache-pressure sweep that "
+                             "follows Table 3")
     args = parser.parse_args(argv)
 
     tracer = obs_trace.Tracer() if args.trace else None
@@ -110,6 +113,18 @@ def main(argv: List[str] = None) -> int:
     print(format_table2(rows))
     print()
     print(format_table3(rows))
+
+    if not args.no_cache_pressure and not args.only:
+        from .cachepressure import compile_pressure_program, format_sweep, sweep
+        started = time.time()
+        pressure_rows = sweep(executions=max(1, int(120 * args.scale)),
+                              program=compile_pressure_program())
+        print()
+        print(format_sweep(pressure_rows))
+        print("measured %-30s %-32s (%.1fs)"
+              % ("cache pressure", "keyed region, lru sweep",
+                 time.time() - started),
+              file=sys.stderr)
 
     if breakeven_sections:
         print()

@@ -1,0 +1,310 @@
+"""The code cache proper: keyed versions, eviction, compaction,
+invalidation.
+
+One :class:`CodeCache` serves one VM execution.  The runtime engine
+calls :meth:`CodeCache.lookup` from the ``region_lookup`` service and
+:meth:`CodeCache.insert` from ``region_stitch``; everything else --
+capacity enforcement, victim selection, free-list reuse, compaction
+when fragmentation blocks an install, and invalidation when a region's
+run-time-constants table is re-filled with different values -- happens
+inside those two calls.
+
+Safety rule ("pinning"): an entry whose code calls functions (``jsr``)
+may have a live frame beneath it when the cache runs (the callee may
+itself hit a region and stitch), so such entries are never moved,
+evicted, or freed.  Call-free entries can never be mid-execution
+during a cache operation -- the VM is single-threaded and cache
+operations only run inside the ``region_lookup`` / ``region_stitch``
+runtime services, which are reached from static dispatch glue -- so
+they are always safe to relocate or discard.  If every candidate is
+pinned the cache overflows softly (capacity is exceeded rather than
+correctness risked).
+
+Two invariants, checked by the differential oracle:
+
+* ``region entries == cache hits + stitches`` -- every region
+  execution is accounted for, whatever the policy;
+* a re-stitch of an evicted key against an unchanged table must be
+  *word-identical modulo relocation base* to the original stitch
+  (mismatches are recorded in :attr:`CacheStats.restitch_mismatches`
+  and fail the oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import trace as obs_trace
+from ..obs.metrics import registry as obs_metrics
+from .arena import CodeArena, PoolArena
+from .entry import CachedEntry, CacheKey
+from .policy import CacheConfig, make_policy
+
+
+@dataclass
+class CacheStats:
+    """Post-run cache accounting (``RunResult.cache_stats``)."""
+
+    policy: str = "unbounded"
+    max_entries: Optional[int] = None
+    max_words: Optional[int] = None
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    compactions: int = 0
+    invalidations: int = 0
+    #: stitches for keys that had been stitched before (post-eviction
+    #: or post-invalidation re-compilations).
+    restitches: int = 0
+    live_entries: int = 0
+    live_code_words: int = 0
+    #: live (base, words) code ranges -- the only run-time code ranges
+    #: the oracle's branch/reachability invariants may scan.
+    live_blocks: List[Tuple[int, int]] = field(default_factory=list)
+    #: live entry pcs, the reachability seeds.
+    live_entry_pcs: List[int] = field(default_factory=list)
+    #: re-stitches that were NOT word-identical to the original stitch
+    #: of the same key with the same table fingerprint (oracle
+    #: failures), as pretty-printed cache keys.
+    restitch_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def bounded(self) -> bool:
+        return self.policy != "unbounded" and (
+            self.max_entries is not None or self.max_words is not None)
+
+
+class CodeCache:
+    """Keyed cache of stitched region versions for one VM execution."""
+
+    def __init__(self, vm, config: Optional[CacheConfig] = None):
+        self.vm = vm
+        self.config = config or CacheConfig()
+        self.policy = make_policy(self.config)
+        self.code_arena = CodeArena(vm)
+        self.pool_arena = PoolArena(vm)
+        #: live versions only.
+        self.entries: Dict[CacheKey, CachedEntry] = {}
+        #: table fingerprint per key ever stitched (survives eviction:
+        #: distinguishes an invalidation from an ordinary re-stitch).
+        self.fingerprints: Dict[CacheKey, Tuple] = {}
+        #: canonical words of the *first* stitch per key, for the
+        #: re-stitch identity invariant.
+        self.archive: Dict[CacheKey, Tuple] = {}
+        self.tick = 0
+        self._evictions = 0
+        self._compactions = 0
+        self._invalidations = 0
+        self._restitches = 0
+        self._hits = 0
+        self._misses = 0
+        self._mismatches: List[str] = []
+
+    # -- the two runtime-service entry points -------------------------------
+
+    def lookup(self, key: CacheKey) -> Optional[CachedEntry]:
+        """The ``region_lookup`` fast path: a live entry or ``None``."""
+        self.tick += 1
+        entry = self.entries.get(key)
+        region = "%s:%d" % (key.func, key.region_id)
+        if entry is None:
+            self._misses += 1
+            if obs_metrics._enabled:
+                obs_metrics.counter("cache.misses").inc()
+            if obs_trace._current is not None:
+                obs_trace.instant("cache.miss", "runtime", region=region,
+                                  key=list(key.key))
+            return None
+        self._hits += 1
+        self.policy.on_hit(entry, self.tick)
+        if obs_metrics._enabled:
+            obs_metrics.counter("cache.hits").inc()
+        if obs_trace._current is not None:
+            obs_trace.instant("cache.hit", "runtime", region=region,
+                              key=list(key.key), entry=entry.entry_pc)
+        return entry
+
+    def insert(self, entry: CachedEntry) -> CachedEntry:
+        """Admit a freshly stitched entry: invalidate on fingerprint
+        change, check re-stitch identity, make room, install."""
+        self.tick += 1
+        key = entry.key
+        old_fp = self.fingerprints.get(key)
+        if old_fp is not None and old_fp != entry.table_fingerprint:
+            # The region's "run-time constants" were re-filled with
+            # different values: every version of the region is stale.
+            self.invalidate_region(key.func, key.region_id)
+        elif key in self.entries:
+            # A live key being re-inserted (possible only through
+            # direct API use, never through the dispatch glue, which
+            # always consults lookup first): release the old version.
+            old = self.entries.pop(key)
+            if not old.pinned:
+                self._release(old)
+        archived = self.archive.get(key)
+        if archived is not None:
+            self._restitches += 1
+            if obs_metrics._enabled:
+                obs_metrics.counter("cache.restitches").inc()
+            if archived != entry.canonical_words():
+                self._mismatches.append(key.pretty())
+        else:
+            self.archive[key] = entry.canonical_words()
+        self.fingerprints[key] = entry.table_fingerprint
+        self._make_room(entry.words)
+        self._install(entry)
+        self.policy.on_insert(entry, self.tick)
+        self.entries[key] = entry
+        self._update_gauges()
+        return entry
+
+    # -- capacity ----------------------------------------------------------
+
+    def _over_capacity(self, incoming_words: int) -> bool:
+        config = self.config
+        if config.max_entries is not None \
+                and len(self.entries) + 1 > config.max_entries:
+            return True
+        if config.max_words is not None \
+                and self.code_arena.used_words + incoming_words \
+                > config.max_words:
+            return True
+        return False
+
+    def _make_room(self, incoming_words: int) -> None:
+        if not self.config.bounded:
+            return
+        while self._over_capacity(incoming_words):
+            candidates = [e for e in self.entries.values() if not e.pinned]
+            if not candidates:
+                break  # everything pinned: overflow softly
+            self._evict(self.policy.victim(candidates, self.tick))
+
+    def _release(self, entry: CachedEntry) -> None:
+        self.code_arena.release(entry.base, entry.words)
+        self.pool_arena.release(entry.pool_base, entry.pool_words)
+
+    def _evict(self, entry: CachedEntry) -> None:
+        del self.entries[entry.key]
+        self._release(entry)
+        self._evictions += 1
+        if obs_metrics._enabled:
+            obs_metrics.counter("cache.evictions").inc()
+        if obs_trace._current is not None:
+            obs_trace.instant(
+                "cache.evict", "runtime",
+                region="%s:%d" % (entry.key.func, entry.key.region_id),
+                key=list(entry.key.key), policy=self.policy.name,
+                base=entry.base, words=entry.words)
+
+    def invalidate_region(self, func: str, region_id: int) -> int:
+        """Drop every version of a region (its table was re-filled
+        with different values).  Pinned versions are unlinked from the
+        cache but their words are deliberately leaked -- a live frame
+        may still return through them.  Returns versions dropped."""
+        region = (func, region_id)
+        doomed = [k for k in self.entries if k.region == region]
+        for key in doomed:
+            entry = self.entries.pop(key)
+            if not entry.pinned:
+                self._release(entry)
+        for mapping in (self.fingerprints, self.archive):
+            for key in [k for k in mapping if k.region == region]:
+                del mapping[key]
+        self._invalidations += 1
+        if obs_metrics._enabled:
+            obs_metrics.counter("cache.invalidations").inc()
+        if obs_trace._current is not None:
+            obs_trace.instant("cache.invalidate", "runtime",
+                              region="%s:%d" % region, dropped=len(doomed))
+        self._update_gauges()
+        return len(doomed)
+
+    # -- installation ------------------------------------------------------
+
+    def _install(self, entry: CachedEntry) -> None:
+        """Place the entry: reuse a free block, compacting first if
+        only fragmentation stands in the way, else append.  The pool
+        is allocated before the code to stay address-identical with
+        the historical (unbounded) install sequence."""
+        entry.pool_words = max(1, len(entry.pool))
+        pool_base = self.pool_arena.alloc(len(entry.pool))
+        for i, value in enumerate(entry.pool):
+            self.vm.store(pool_base + i, value)
+        words = entry.words
+        arena = self.code_arena
+        base = arena.try_alloc(words)
+        if base is None and arena.fragmented(words) \
+                and any(not e.pinned for e in self.entries.values()):
+            if self.compact():
+                base = arena.try_alloc(words)
+        if base is None:
+            base = self.vm.install_code(entry.code)
+        else:
+            self.vm.write_code(base, entry.code)
+        entry.place(base)
+        entry.pool_base = pool_base
+        entry.report.pool_base = pool_base
+
+    def compact(self) -> bool:
+        """Slide unpinned live entries toward the arena base (pinned
+        entries are immovable obstacles), rebasing each via its
+        relocation records, then rebuild the free list from the gaps.
+        Returns True if anything moved."""
+        live = sorted(self.entries.values(), key=lambda e: e.base)
+        cursor = self.code_arena.start
+        moved = 0
+        free_blocks: List[Tuple[int, int]] = []
+        for entry in live:
+            if entry.pinned:
+                if cursor < entry.base:
+                    free_blocks.append((cursor, entry.base - cursor))
+                cursor = max(cursor, entry.base + entry.words)
+                continue
+            if entry.base > cursor:
+                self.vm.move_code(entry.base, cursor, entry.words)
+                entry.place(cursor)
+                moved += 1
+            cursor = entry.base + entry.words
+        if not moved:
+            return False
+        end = len(self.vm.code)
+        if cursor < end:
+            free_blocks.append((cursor, end - cursor))
+        self.code_arena.reset_free(free_blocks)
+        self._compactions += 1
+        if obs_metrics._enabled:
+            obs_metrics.counter("cache.compactions").inc()
+        if obs_trace._current is not None:
+            obs_trace.instant("cache.compact", "runtime", moved=moved,
+                              free_words=self.code_arena.free_words,
+                              largest_free=self.code_arena.largest_free)
+        return True
+
+    # -- reporting ---------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        if obs_metrics._enabled:
+            obs_metrics.gauge("cache.entries").set(len(self.entries))
+            obs_metrics.gauge("cache.code_words").set(
+                self.code_arena.used_words)
+
+    def snapshot(self) -> CacheStats:
+        live = sorted(self.entries.values(), key=lambda e: e.base)
+        return CacheStats(
+            policy=self.config.policy,
+            max_entries=self.config.max_entries,
+            max_words=self.config.max_words,
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            compactions=self._compactions,
+            invalidations=self._invalidations,
+            restitches=self._restitches,
+            live_entries=len(live),
+            live_code_words=self.code_arena.used_words,
+            live_blocks=[(e.base, e.words) for e in live],
+            live_entry_pcs=[e.entry_pc for e in live],
+            restitch_mismatches=list(self._mismatches),
+        )

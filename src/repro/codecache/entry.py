@@ -1,0 +1,153 @@
+"""Relocatable stitched entries.
+
+The stitcher used to write absolute branch targets straight into VM
+code memory, welding each stitched region to the address it happened
+to land on.  A :class:`CachedEntry` instead carries everything needed
+to *place* the code anywhere: the instruction words, a relocation
+record for every word whose ``target`` depends on the final base
+address, the linearized constant pool, and the entry point as an
+offset.  :func:`install_entry` (and the cache's own installer) applies
+the relocations after choosing an address -- and can re-apply them at
+a different address, which is what makes eviction, reuse and
+compaction of the code pool possible at all.
+
+Two facts about stitched code keep relocation simple:
+
+* templates never emit ``jtab`` (template switches lower to
+  compare-and-branch chains; constant switches resolve at stitch
+  time), so every control transfer is a single ``target`` field;
+* constant-pool references are position-independent already -- pool
+  loads address ``CPOOL``-relative by pool *index*, and the dispatch
+  glue reloads the ``CPOOL`` register from the cache on every entry --
+  so moving code never touches the pool and vice versa.
+
+Relocation kinds:
+
+* ``"local"`` -- a branch to another instruction of the same entry;
+  ``value`` is the offset from the entry's base.
+* ``"absolute"`` -- a fixed code address outside the entry (``ext:``
+  labels back into the owning function, ``func:`` call targets).
+  Static code never moves, so these survive rebasing unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Tuple, Union
+
+from ..machine.isa import MInstr
+
+Number = Union[int, float]
+
+
+class CacheKey(NamedTuple):
+    """Identity of one compiled version: region plus ``key(...)`` values."""
+
+    func: str
+    region_id: int
+    key: Tuple[Number, ...]
+
+    @property
+    def region(self) -> Tuple[str, int]:
+        return (self.func, self.region_id)
+
+    def pretty(self) -> str:
+        return "%s:%d%r" % (self.func, self.region_id, list(self.key))
+
+
+class Relocation(NamedTuple):
+    """One word whose ``target`` must be fixed up at install time."""
+
+    index: int  #: which instruction of the entry
+    kind: str   #: "local" or "absolute"
+    value: int  #: entry-relative offset, or absolute code address
+
+
+@dataclass
+class CachedEntry:
+    """One stitched region version, relocatable and self-describing."""
+
+    key: CacheKey
+    #: the stitched instructions (per-entry clones for every word that
+    #: carries a relocation; un-relocated words may be shared with the
+    #: region's templates and are never mutated).
+    code: List[MInstr]
+    relocs: List[Relocation]
+    #: linearized large-constants pool (addressed CPOOL-relative).
+    pool: List[Number]
+    #: region entry point, relative to the entry's base.
+    entry_offset: int
+    #: the stitch report; ``report.entry`` / ``report.pool_base`` are
+    #: filled in when the entry is installed.
+    report: "StitchReport"  # noqa: F821  (avoid an import cycle)
+    #: values read from the run-time-constants table during the
+    #: stitch, in read order -- re-filling the table with different
+    #: values invalidates the region's versions (record-chain pointers
+    #: are deliberately excluded: they are heap addresses that
+    #: legitimately differ between re-stitches).
+    table_fingerprint: Tuple[Number, ...] = ()
+    #: entries that call functions (``jsr``) can have live frames
+    #: below them when the cache runs; they are never moved or evicted.
+    pinned: bool = False
+    #: install state (set by the installer).
+    base: int = -1
+    pool_base: int = -1
+    #: data words reserved for the pool (the allocator's minimum is 1).
+    pool_words: int = 1
+    #: policy bookkeeping: cache tick of the last hit or insert.
+    last_use: int = 0
+    _canonical: Tuple = field(default=None, repr=False)  # type: ignore
+
+    @property
+    def words(self) -> int:
+        return len(self.code)
+
+    @property
+    def entry_pc(self) -> int:
+        return self.base + self.entry_offset
+
+    def place(self, base: int) -> None:
+        """(Re)base the entry at ``base``: apply every relocation."""
+        code = self.code
+        for index, kind, value in self.relocs:
+            code[index].target = value if kind == "absolute" \
+                else base + value
+        self.base = base
+        self.report.entry = base + self.entry_offset
+
+    def canonical_words(self) -> Tuple:
+        """A base-independent image of the entry, for the re-stitch
+        identity invariant: two stitches of the same key against the
+        same table must be word-identical *modulo relocation base*.
+        Local targets are abstracted to entry-relative offsets; pool
+        references are already pool indices, hence position-free."""
+        if self._canonical is None:
+            tags = {index: (kind, value)
+                    for index, kind, value in self.relocs}
+            words = tuple(
+                (i.op, i.rd, i.ra, i.rb, i.imm, i.name,
+                 tags.get(n))
+                for n, i in enumerate(self.code))
+            self._canonical = (words, tuple(self.pool), self.entry_offset)
+        return self._canonical
+
+
+def install_entry(vm, entry: CachedEntry) -> CachedEntry:
+    """Append-install an entry at the end of code memory.
+
+    This is the historical install sequence, kept bit-compatible with
+    the pre-codecache stitcher for the default unbounded policy: the
+    constant pool is heap-allocated *before* the code is appended, so
+    all data and code addresses match the old behavior exactly.  The
+    bounded cache's installer (:meth:`CodeCache._install`) adds
+    free-list reuse and compaction on top of this.
+    """
+    entry.pool_words = max(1, len(entry.pool))
+    pool_base = vm.alloc(entry.pool_words)
+    for i, value in enumerate(entry.pool):
+        vm.store(pool_base + i, value)
+    base = vm.install_code(entry.code)
+    entry.place(base)
+    entry.pool_base = pool_base
+    entry.report.pool_base = pool_base
+    return entry

@@ -1,0 +1,39 @@
+"""Key extraction: the one place that reads ``key(...)`` registers.
+
+A keyed region's dispatch glue passes the key values in the integer
+argument registers, but the two runtime services see them at
+*different offsets*:
+
+* ``region_lookup`` receives key ``i`` in ``ARG_BASE + i`` -- the keys
+  are its only arguments;
+* ``region_stitch`` receives the run-time-constants *table address*
+  in ``ARG_BASE`` first (the stitcher's main input), shifting key
+  ``i`` to ``ARG_BASE + 1 + i``.
+
+Both conventions are emitted by ``codegen.lower`` (see
+``_lower_region_lookup`` / ``_lower_region_stitch``) and were
+historically duplicated as two ad-hoc tuple comprehensions in the
+engine; a silent skew between them would make the code cache stitch
+under one key and look up under another.  This helper is the single
+point of truth, pinned by ``tests/test_codecache.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from ..machine.isa import ARG_BASE
+
+Number = Union[int, float]
+
+
+def region_key(regs: List[Number], key_count: int,
+               stitch_args: bool = False) -> Tuple[Number, ...]:
+    """Read a region's ``key(...)`` values from the argument registers.
+
+    ``stitch_args`` selects the ``region_stitch`` convention (table
+    address in ``ARG_BASE``, keys shifted up by one); the default is
+    the ``region_lookup`` convention (keys start at ``ARG_BASE``).
+    """
+    base = ARG_BASE + 1 if stitch_args else ARG_BASE
+    return tuple(regs[base + i] for i in range(key_count))

@@ -28,6 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..codecache.entry import (
+    CachedEntry, CacheKey, Relocation, install_entry,
+)
 from ..codegen.objects import (
     CompiledFunction, RegionCode, TemplateBlock, linearize_block,
 )
@@ -121,6 +124,14 @@ class Stitcher:
         self.labels: Dict[str, int] = {}
         self.pending: List[Tuple[int, str]] = []  # (out index, label)
         self.pool: List[Number] = []
+        #: every value read from the constants table / loop records,
+        #: in read order: the table fingerprint for invalidation.
+        #: (Record-chain *pointers* are read in _edge_env, not here --
+        #: they are heap addresses that legitimately differ between
+        #: re-stitches and must stay out of the fingerprint.)
+        self.table_reads: List[Number] = []
+        #: the relocatable product of the stitch (set by _finalize).
+        self.entry: Optional[CachedEntry] = None
         self.emitted: Dict[Tuple[str, Env], str] = {}
         self.queue: List[Tuple[str, Env]] = []
         #: loop header -> plan, for edge transitions.
@@ -137,11 +148,17 @@ class Stitcher:
     def _slot_value(self, slot: SlotRef, env: Env) -> Number:
         loop_id, index = slot
         if loop_id is None:
-            return self.vm.load(self.table_addr + index)
-        for active_id, rec in env:
-            if active_id == loop_id:
-                return self.vm.load(rec + index)
-        raise StitchError("hole references inactive loop %d" % loop_id)
+            value = self.vm.load(self.table_addr + index)
+        else:
+            for active_id, rec in env:
+                if active_id == loop_id:
+                    value = self.vm.load(rec + index)
+                    break
+            else:
+                raise StitchError("hole references inactive loop %d"
+                                  % loop_id)
+        self.table_reads.append(value)
+        return value
 
     def _pool_index(self, value: Number) -> int:
         self.pool.append(value)
@@ -483,6 +500,10 @@ class Stitcher:
         self.report.instrs_emitted -= stats["addr_calcs_removed"]
 
     def _finalize(self) -> None:
+        """Package the stitched code as a relocatable
+        :class:`CachedEntry` -- no VM memory is touched here; the code
+        cache (or :func:`~repro.codecache.entry.install_entry`)
+        chooses the address and applies the relocations."""
         if self.register_actions:
             self._apply_register_actions()
         # Elide branches to the immediately following instruction.
@@ -496,27 +517,39 @@ class Stitcher:
             keep.append(instr)
         index_map[len(self.out)] = len(keep)
         labels = {name: index_map[idx] for name, idx in self.labels.items()}
-        # Write the linearized large-constants table into data memory.
-        pool_base = self.vm.alloc(max(1, len(self.pool)))
-        for i, value in enumerate(self.pool):
-            self.vm.store(pool_base + i, value)
-        base = self.vm.install_code(keep)
-        for instr in keep:
+        # Relocation records: symbolic targets into the static image
+        # (which never moves) resolve to absolutes right away; local
+        # labels become entry-relative offsets.  Every label-bearing
+        # instruction is a per-stitch clone, so applying relocations
+        # never mutates template-shared words.
+        relocs: List[Relocation] = []
+        for n, instr in enumerate(keep):
             if instr.label is None:
                 continue
             if instr.label.startswith("ext:"):
-                instr.target = self.compiled.resolve(instr.label[4:])
+                relocs.append(Relocation(
+                    n, "absolute", self.compiled.resolve(instr.label[4:])))
             elif instr.label.startswith("func:"):
                 callee = self.functions.get(instr.label[5:])
                 if callee is None or callee.base < 0:
                     raise StitchError("stitched call to unknown function "
                                       "%s" % instr.label[5:])
-                instr.target = callee.base
+                relocs.append(Relocation(n, "absolute", callee.base))
             else:
-                instr.target = base + labels[instr.label]
-        self.report.entry = base + labels[self.emitted[(self.region.entry,
-                                                        ())]]
-        self.report.pool_base = pool_base
+                relocs.append(Relocation(n, "local", labels[instr.label]))
+        self.entry = CachedEntry(
+            key=CacheKey(self.region.func_name, self.region.region_id,
+                         self.report.key),
+            code=keep,
+            relocs=relocs,
+            pool=self.pool,
+            entry_offset=labels[self.emitted[(self.region.entry, ())]],
+            report=self.report,
+            table_fingerprint=tuple(self.table_reads),
+            # Entries that call functions may have live frames beneath
+            # them when the cache evicts or compacts: never move them.
+            pinned=any(instr.op == "jsr" for instr in keep),
+        )
 
 
 def _with_imm(instr: MInstr, imm: int) -> MInstr:
@@ -531,13 +564,15 @@ def _rewrite_immfree(instrs: List[MInstr]) -> bool:
     return all(fits_imm(i.imm) for i in instrs)
 
 
-def stitch_region(vm, compiled: CompiledFunction, region: RegionCode,
-                  table_addr: int, costs: StitcherCosts,
-                  key: Tuple[Number, ...] = (),
-                  register_actions: bool = False,
-                  functions: Optional[Dict[str, CompiledFunction]] = None
-                  ) -> StitchReport:
-    """Run the stitcher; returns the report (entry address inside)."""
+def stitch_entry(vm, compiled: CompiledFunction, region: RegionCode,
+                 table_addr: int, costs: StitcherCosts,
+                 key: Tuple[Number, ...] = (),
+                 register_actions: bool = False,
+                 functions: Optional[Dict[str, CompiledFunction]] = None
+                 ) -> CachedEntry:
+    """Run the stitcher, producing a relocatable (not yet installed)
+    :class:`~repro.codecache.entry.CachedEntry`; the stitcher's cycles
+    are charged to the region's ``stitcher:`` owner."""
     stitcher = Stitcher(vm, compiled, region, table_addr, costs, key,
                         register_actions=register_actions,
                         functions=functions)
@@ -561,4 +596,21 @@ def stitch_region(vm, compiled: CompiledFunction, region: RegionCode,
             span["stitcher_cycles"] = report.cycles
     vm.charge("stitcher:%s:%d" % (region.func_name, region.region_id),
               report.cycles)
-    return report
+    assert stitcher.entry is not None
+    return stitcher.entry
+
+
+def stitch_region(vm, compiled: CompiledFunction, region: RegionCode,
+                  table_addr: int, costs: StitcherCosts,
+                  key: Tuple[Number, ...] = (),
+                  register_actions: bool = False,
+                  functions: Optional[Dict[str, CompiledFunction]] = None
+                  ) -> StitchReport:
+    """Stitch *and append-install* in one step; returns the report
+    (entry address inside).  This is the historical one-shot API, kept
+    for callers that do not run a code cache."""
+    entry = stitch_entry(vm, compiled, region, table_addr, costs, key,
+                         register_actions=register_actions,
+                         functions=functions)
+    install_entry(vm, entry)
+    return entry.report

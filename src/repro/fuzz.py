@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import sys
 import time
 from typing import Dict, List, Optional
 
+from .codecache import CacheConfig
 from .obs import trace as obs_trace
 from .testing.ablate import (
     format_reproducer, localize_divergence, shrink_program,
@@ -34,8 +36,24 @@ from .testing.genprog import generate_program
 from .testing.oracle import run_oracle
 
 
+def random_cache_config(seed: int, iteration: int) -> CacheConfig:
+    """A deterministic, usually-tiny cache configuration for one fuzz
+    iteration, so eviction, free-list reuse, compaction and re-stitch
+    paths get exercised alongside the default unbounded behavior."""
+    rng = random.Random(seed * 7919 + iteration)
+    roll = rng.random()
+    if roll < 0.35:
+        return CacheConfig()  # unbounded: the historical path
+    policy = rng.choice(["lru", "cost-aware"])
+    max_entries = rng.randint(1, 4)
+    max_words = rng.choice([None, None, rng.randint(32, 512)])
+    return CacheConfig(policy=policy, max_entries=max_entries,
+                       max_words=max_words)
+
+
 def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
-             max_cycles: int = 200_000_000):
+             max_cycles: int = 200_000_000,
+             cache_config: Optional[CacheConfig] = None):
     """Generate and check one program.
 
     Returns ``(program, bad_report, annotation_rejected)``:
@@ -44,19 +62,55 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     ``None`` when every argument agreed.  ``annotation_rejected`` is
     True when the dynamic path legitimately refused the region shape
     for some argument (the splitter's AnnotationError).
+    ``cache_config`` applies to the oracle's dynamic legs.
     """
     program = generate_program(seed * 1_000_003 + iteration,
                                max_stmts=max_stmts)
     source = program.source
     rejected = False
     for arg in program.args:
-        report = run_oracle(source, [arg], max_cycles=max_cycles)
+        report = run_oracle(source, [arg], max_cycles=max_cycles,
+                            cache_config=cache_config)
         rejected = rejected or report.annotation_reject
         if report.compile_error:
             return program, report, rejected
         if not report.ok:
             return program, report, rejected
     return program, None, rejected
+
+
+def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
+                   max_cycles: int) -> int:
+    """Replay every ``*.c`` reproducer in ``directory`` through the
+    oracle, optionally under a bounded cache -- the CI proof that
+    eviction never changes program results on known-tricky programs."""
+    import glob
+    import re
+
+    paths = sorted(glob.glob(os.path.join(directory, "*.c")))
+    if not paths:
+        print("no *.c reproducers under %s" % directory, file=sys.stderr)
+        return 1
+    label = cache_config.describe() if cache_config else "unbounded"
+    failures = 0
+    for path in paths:
+        with open(path) as handle:
+            text = handle.read()
+        match = re.search(r"^// args:\s*(.*)$", text, re.MULTILINE)
+        arg_list = ([int(tok) for tok in match.group(1).split()]
+                    if match else []) or [0]
+        for arg in arg_list:
+            report = run_oracle(text, [arg], max_cycles=max_cycles,
+                                cache_config=cache_config)
+            if report.annotation_reject or report.ok:
+                continue
+            failures += 1
+            print("%s (arg %d, cache=%s):" % (path, arg, label))
+            for divergence in report.divergences:
+                print("  " + str(divergence))
+    print("replay: %d reproducers under cache=%s, %d failures"
+          % (len(paths), label, failures))
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -91,8 +145,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "events per iteration and dump them next "
                              "to the reproducer on divergence "
                              "(0 disables; default 2048)")
+    parser.add_argument("--cache", default=None, metavar="SPEC",
+                        help="fix the dynamic legs' code-cache config "
+                             "(POLICY[:ENTRIES[:WORDS]], e.g. lru:2) "
+                             "instead of fuzzing random capacities")
+    parser.add_argument("--no-cache-fuzz", action="store_true",
+                        help="always run the default unbounded cache "
+                             "(pre-codecache behavior)")
+    parser.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay DIR/*.c reproducers through the "
+                             "oracle (honoring --cache) instead of "
+                             "generating programs")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    fixed_cache = (CacheConfig.parse(args.cache)
+                   if args.cache is not None else None)
+    if args.replay is not None:
+        return _replay_corpus(args.replay, fixed_cache, args.max_cycles)
 
     corpus_dir = args.corpus_dir
     if corpus_dir is None:
@@ -114,9 +184,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     for i in range(args.iters):
         if tracer is not None:
             tracer.clear()
+        if args.no_cache_fuzz:
+            cache_config: Optional[CacheConfig] = None
+        elif fixed_cache is not None:
+            cache_config = fixed_cache
+        else:
+            cache_config = random_cache_config(args.seed, i)
         program, bad, rejected = fuzz_one(
             args.seed, i, max_stmts=args.max_stmts,
-            max_cycles=args.max_cycles)
+            max_cycles=args.max_cycles, cache_config=cache_config)
         # Snapshot the tail now, before ablation/shrinking reruns
         # overwrite the ring with events from other programs.
         trace_tail = list(tracer.events) if tracer is not None else []
@@ -137,10 +213,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         divergences += 1
         print("=" * 70)
-        print("iter %d (seed %d): DIVERGENCE with args=%s"
-              % (i, args.seed, bad.args))
+        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s"
+              % (i, args.seed, bad.args,
+                 cache_config.describe() if cache_config else "unbounded"))
         for divergence in bad.divergences:
             print("  " + str(divergence))
+        if cache_config is not None and cache_config.bounded:
+            # Is the bug cache-specific?  The ablation/shrink tooling
+            # reruns under the default cache, so a bounded-cache-only
+            # divergence must keep its original program and config.
+            recheck = run_oracle(program.source, bad.args,
+                                 max_cycles=args.max_cycles)
+            if recheck.ok:
+                print("  divergence requires cache=%s (vanishes "
+                      "unbounded); writing unshrunk reproducer"
+                      % cache_config.describe())
+                os.makedirs(corpus_dir, exist_ok=True)
+                name = "seed%d_iter%03d_cache.c" % (args.seed, i)
+                path = os.path.join(corpus_dir, name)
+                with open(path, "w") as handle:
+                    handle.write("// cache: %s\n" % cache_config.describe())
+                    handle.write(format_reproducer(program, bad, None))
+                print("  wrote %s" % path)
+                continue
         if args.no_shrink:
             continue
         print("  localizing culprit pass ...")

@@ -174,6 +174,53 @@ class VM:
             handlers.append(_predecode(self, instr))
         return base
 
+    def write_code(self, base: int, instrs: List[MInstr]) -> None:
+        """Overwrite existing code slots (predecoding), for the code
+        cache's free-list reuse of evicted regions' words.  The range
+        must already be installed."""
+        if base < 0 or base + len(instrs) > len(self.code):
+            raise VMError("write_code outside installed code: %d+%d"
+                          % (base, len(instrs)))
+        code = self.code
+        handlers = self.handlers
+        for i, instr in enumerate(instrs):
+            instr.cost = op_cost(instr.op, instr.name or "")
+            code[base + i] = instr
+            handlers[base + i] = _predecode(self, instr)
+
+    def move_code(self, src: int, dst: int, words: int) -> None:
+        """Relocate installed code to a lower address (compaction).
+
+        Handlers move with their instructions -- they never bind their
+        own pc, and branch handlers read ``instr.target`` at execution
+        time, so the mover only has to re-point the caller-supplied
+        relocations (``CachedEntry.place``), not re-predecode.
+        The ascending copy is safe because ``dst < src``.
+        """
+        if not 0 <= dst < src or src + words > len(self.code):
+            raise VMError("bad code move %d->%d (%d words)"
+                          % (src, dst, words))
+        code = self.code
+        handlers = self.handlers
+        for i in range(words):
+            code[dst + i] = code[src + i]
+            handlers[dst + i] = handlers[src + i]
+
+    def fill_freed(self, base: int, words: int) -> None:
+        """Fill released code words with trapping filler: executing a
+        stale pc in an evicted region faults like any unknown opcode
+        instead of silently running another entry's code."""
+        if base < 0 or base + words > len(self.code):
+            raise VMError("fill_freed outside installed code: %d+%d"
+                          % (base, words))
+        code = self.code
+        handlers = self.handlers
+        for i in range(words):
+            filler = MInstr("freed", owner="codecache")
+            filler.cost = op_cost("freed", "")
+            code[base + i] = filler
+            handlers[base + i] = _predecode(self, filler)
+
     def alloc(self, words: int) -> int:
         addr = self._heap[0]
         self._heap[0] = addr + max(1, words)

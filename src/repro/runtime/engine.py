@@ -23,10 +23,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
+from ..codecache import (
+    CacheConfig, CacheKey, CacheStats, CodeCache, region_key,
+)
 from ..codegen.lower import DataLayout, lower_module
 from ..codegen.objects import CompiledFunction, RegionCode
 from ..dynamic.splitter import RegionPlan, split_module
-from ..dynamic.stitcher import StitchReport, stitch_region
+from ..dynamic.stitcher import StitchReport, stitch_entry
 from ..frontend.parser import parse
 from ..frontend.typecheck import check
 from ..ir.builder import build_module
@@ -75,6 +78,10 @@ class RunResult:
         default_factory=dict)
     #: cache-hit events, one per entry that reused stitched code.
     cache_hits: List[CacheHit] = field(default_factory=list)
+    #: code-cache accounting: policy, hits/misses, evictions,
+    #: compactions, invalidations, re-stitches, and the live code
+    #: ranges (the only run-time ranges invariant checks may scan).
+    cache_stats: Optional[CacheStats] = None
 
     def owner_cycles(self, prefix: str) -> int:
         """Total cycles across owners starting with ``prefix``."""
@@ -109,7 +116,8 @@ class Program:
                  plans: List[RegionPlan],
                  stitcher_costs: StitcherCosts,
                  opt_stats: Optional[Dict[str, OptStats]] = None,
-                 register_actions: bool = False):
+                 register_actions: bool = False,
+                 cache_config: Optional[CacheConfig] = None):
         self.compiled = compiled
         self.layout = layout
         self.mode = mode
@@ -117,6 +125,9 @@ class Program:
         self.stitcher_costs = stitcher_costs
         self.opt_stats = opt_stats or {}
         self.register_actions = register_actions
+        #: default code-cache configuration for runs (a ``run`` call
+        #: can override it per execution).
+        self.cache_config = cache_config or CacheConfig()
         # Cached VM for repeated runs: building a multi-megaword memory
         # image and re-installing/re-resolving the code dominates the
         # host cost of short executions.  The cache holds the VM plus
@@ -168,13 +179,15 @@ class Program:
     def run(self, func: str = "main", args: Optional[List[Number]] = None,
             max_cycles: int = 4_000_000_000,
             memory_words: int = 1 << 22,
-            dispatch: str = "threaded") -> RunResult:
+            dispatch: str = "threaded",
+            cache: Optional[CacheConfig] = None) -> RunResult:
         """Run ``func(*args)``; ``dispatch`` picks the VM execution
         engine ("threaded" predecoded fast path, or the retained
         "naive" decode loop -- equivalent by construction and by
-        test)."""
+        test); ``cache`` overrides the program's code-cache
+        configuration for this execution."""
         vm = self._acquire_vm(memory_words, max_cycles)
-        runtime = _RegionRuntime(self, vm)
+        runtime = _RegionRuntime(self, vm, cache or self.cache_config)
         vm.rt_handlers["region_lookup"] = runtime.lookup
         vm.rt_handlers["region_stitch"] = runtime.stitch
         entry_fn = self.compiled.get(func)
@@ -206,18 +219,20 @@ class Program:
             op_counts=dict(vm.op_counts),
             region_entries=dict(runtime.entries),
             cache_hits=runtime.cache_hits,
+            cache_stats=runtime.cache.snapshot(),
         )
 
 
 class _RegionRuntime:
-    """Keyed code cache + stitcher hooks for one VM execution."""
+    """The ``region_lookup`` / ``region_stitch`` services for one VM
+    execution, backed by the :class:`~repro.codecache.CodeCache`."""
 
-    def __init__(self, program: Program, vm: VM):
+    def __init__(self, program: Program, vm: VM,
+                 cache_config: Optional[CacheConfig] = None):
         self.program = program
         self.vm = vm
-        #: (func, region_id, key tuple) -> (entry, pool base).
-        self.cache: Dict[Tuple[str, int, Tuple[Number, ...]],
-                         Tuple[int, int]] = {}
+        #: the code cache: keyed versions, eviction, compaction.
+        self.cache: CodeCache = CodeCache(vm, cache_config)
         self.reports: List[StitchReport] = []
         #: (func, region_id) -> entries (every lookup, hit or miss).
         self.entries: Dict[Tuple[str, int], int] = {}
@@ -227,53 +242,37 @@ class _RegionRuntime:
             for region in function.regions:
                 self._regions[(function.name, region.region_id)] = region
 
-    def _key(self, region: RegionCode) -> Tuple[Number, ...]:
-        regs = self.vm.regs
-        return tuple(regs[ARG_BASE + i] for i in range(region.key_count))
-
     def lookup(self, vm: VM, instr: MInstr) -> int:
         func, region_id = instr.extra  # type: ignore[misc]
         region = self._regions[(func, region_id)]
-        key = self._key(region)
+        key = CacheKey(func, region_id,
+                       region_key(vm.regs, region.key_count))
         entries = self.entries
-        region_key = (func, region_id)
-        entries[region_key] = entries.get(region_key, 0) + 1
-        cached = self.cache.get((func, region_id, key))
+        entries[key.region] = entries.get(key.region, 0) + 1
+        cached = self.cache.lookup(key)
         if cached is None:
             # Miss: the dispatch glue falls through to region_stitch,
             # which records the StitchReport (so misses == stitches).
-            if obs_metrics._enabled:
-                obs_metrics.counter("cache.misses").inc()
-            if obs_trace._current is not None:
-                obs_trace.instant("cache.miss", "runtime",
-                                  region="%s:%d" % region_key,
-                                  key=list(key))
             return 0
-        entry, pool_base = cached
-        self.cache_hits.append(CacheHit(func, region_id, key, entry))
-        if obs_metrics._enabled:
-            obs_metrics.counter("cache.hits").inc()
-        if obs_trace._current is not None:
-            obs_trace.instant("cache.hit", "runtime",
-                              region="%s:%d" % region_key,
-                              key=list(key), entry=entry)
-        vm.regs[CPOOL] = pool_base
-        return entry
+        self.cache_hits.append(
+            CacheHit(func, region_id, key.key, cached.entry_pc))
+        vm.regs[CPOOL] = cached.pool_base
+        return cached.entry_pc
 
     def stitch(self, vm: VM, instr: MInstr) -> int:
         func, region_id = instr.extra  # type: ignore[misc]
         region = self._regions[(func, region_id)]
         table_addr = int(vm.regs[ARG_BASE])
-        key = tuple(vm.regs[ARG_BASE + 1 + i]
-                    for i in range(region.key_count))
+        key = region_key(vm.regs, region.key_count, stitch_args=True)
         host_start = time.perf_counter()
-        report = stitch_region(vm, self.program.compiled[func], region,
-                               table_addr, self.program.stitcher_costs,
-                               key=key,
-                               register_actions=self.program.register_actions,
-                               functions=self.program.compiled)
+        entry = stitch_entry(vm, self.program.compiled[func], region,
+                             table_addr, self.program.stitcher_costs,
+                             key=key,
+                             register_actions=self.program.register_actions,
+                             functions=self.program.compiled)
+        self.cache.insert(entry)
+        report = entry.report
         self.reports.append(report)
-        self.cache[(func, region_id, key)] = (report.entry, report.pool_base)
         if obs_metrics._enabled:
             obs_metrics.counter("stitch.count").inc()
             obs_metrics.counter("stitch.instrs_emitted").inc(
@@ -294,13 +293,16 @@ def compile_program(source: str, mode: str = "dynamic",
                     use_reachability: bool = True,
                     stitcher_costs: Optional[StitcherCosts] = None,
                     register_actions: bool = False,
-                    module_name: str = "program") -> Program:
+                    module_name: str = "program",
+                    cache_config: Optional[CacheConfig] = None) -> Program:
     """Compile MiniC source through the full static pipeline.
 
     ``mode`` is ``"dynamic"`` (regions split + stitched at run time) or
     ``"static"`` (annotations ignored -- the paper's baseline).
     ``register_actions`` enables the section 5 extension: the stitcher
     promotes constant-index frame-array elements to unused registers.
+    ``cache_config`` sets the default code-cache policy/capacity for
+    the program's runs (default: unbounded, the historical behavior).
     """
     if mode not in ("dynamic", "static"):
         raise ValueError("mode must be 'dynamic' or 'static'")
@@ -318,7 +320,8 @@ def compile_program(source: str, mode: str = "dynamic",
     return compile_ir_module(module, mode=mode, opt_options=opt_options,
                              use_reachability=use_reachability,
                              stitcher_costs=stitcher_costs,
-                             register_actions=register_actions)
+                             register_actions=register_actions,
+                             cache_config=cache_config)
 
 
 def _refresh_plan_membership(func, plans: List[RegionPlan],
@@ -354,7 +357,9 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                       opt_options: Optional[OptOptions] = None,
                       use_reachability: bool = True,
                       stitcher_costs: Optional[StitcherCosts] = None,
-                      register_actions: bool = False) -> Program:
+                      register_actions: bool = False,
+                      cache_config: Optional[CacheConfig] = None
+                      ) -> Program:
     """Compile an already-built IR module (for IR-level tests)."""
     opt_options = opt_options or OptOptions()
     stats: Dict[str, OptStats] = {}
@@ -388,4 +393,5 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                                  for cf in compiled.values())
     return Program(compiled, layout, mode, plans,
                    stitcher_costs or StitcherCosts(), stats,
-                   register_actions=register_actions)
+                   register_actions=register_actions,
+                   cache_config=cache_config)

@@ -37,6 +37,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..codecache import CacheConfig
 from ..frontend.errors import AnnotationError, CompileError
 from ..frontend.parser import parse
 from ..frontend.typecheck import check
@@ -160,13 +161,15 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             runs: int = 1,
             check_invariants: bool = True,
             max_cycles: int = 200_000_000,
+            cache_config: Optional[CacheConfig] = None,
             ) -> Tuple[OracleOutcome, Optional[Program], list]:
     try:
         program = compile_program(
             source, mode=mode, opt_options=opt_options,
             use_reachability=use_reachability,
             stitcher_costs=stitcher_costs,
-            register_actions=register_actions)
+            register_actions=register_actions,
+            cache_config=cache_config)
     except AnnotationError as exc:
         return (OracleOutcome(leg, "annotation-reject",
                               error="%s: %s" % (type(exc).__name__, exc)),
@@ -243,8 +246,23 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
                 failures.append("unresolved jtab at stitched pc %d" % pc)
     # Dead-code freedom: every stitched instruction must be reachable
     # from some stitch entry (the stitcher only emits the live side of
-    # resolved constant branches).
-    if len(code) > static_end and result.stitch_reports:
+    # resolved constant branches).  Under a bounded cache, eviction
+    # leaves trapping filler words and stale report entries, so the
+    # scan narrows to the cache's *live* ranges, seeded from the live
+    # entry points.
+    cache_stats = getattr(result, "cache_stats", None)
+    if cache_stats is not None and cache_stats.bounded:
+        live_pcs = [pc for base, words in cache_stats.live_blocks
+                    for pc in range(base, base + words)]
+        if live_pcs:
+            reachable = _reachable_stitched(
+                code, static_end, list(cache_stats.live_entry_pcs))
+            dead = [pc for pc in live_pcs if pc not in reachable]
+            if dead:
+                failures.append(
+                    "stitcher emitted unreachable (dead-branch) code at "
+                    "pcs %s" % dead[:8])
+    elif len(code) > static_end and result.stitch_reports:
         reachable = _reachable_stitched(code, static_end,
                                         [r.entry for r in
                                          result.stitch_reports
@@ -255,6 +273,13 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
             failures.append(
                 "stitcher emitted unreachable (dead-branch) code at "
                 "pcs %s" % dead[:8])
+    # Re-stitch identity: after eviction or invalidation, stitching
+    # the same key against an unchanged table must reproduce the
+    # original code word-for-word (modulo relocation base).
+    if cache_stats is not None and cache_stats.restitch_mismatches:
+        failures.append(
+            "re-stitches not word-identical to original stitches: %s"
+            % ", ".join(cache_stats.restitch_mismatches[:4]))
     # Region-entry accounting: every lookup is either a cache hit or a
     # stitch, so per region entries == hits + stitches (the cache-hit
     # path records CacheHit events precisely so this can be checked).
@@ -345,13 +370,18 @@ def run_oracle(source: str, args: List[int],
                use_reachability: bool = True,
                register_actions_leg: bool = True,
                check_invariants: bool = True,
-               max_cycles: int = 200_000_000) -> OracleReport:
+               max_cycles: int = 200_000_000,
+               cache_config: Optional[CacheConfig] = None) -> OracleReport:
     """Run all legs on ``main(args...)`` and compare.
 
     The interpreter is the semantic baseline; static and dynamic (and
     the optional register-actions dynamic leg) are each compared
     against it, and dynamic is also compared against static so the
-    divergence report names the closest pair.
+    divergence report names the closest pair.  ``cache_config``
+    applies to the dynamic legs: a bounded cache must never change
+    observables, only stitch counts -- so the comparison against the
+    interpreter and static legs doubles as an eviction-correctness
+    proof.
     """
     divergences: List[Divergence] = []
     interp = _interp_leg(source, args)
@@ -361,7 +391,8 @@ def run_oracle(source: str, args: List[int],
     dynamic, dyn_program, dyn_invariants = _vm_leg(
         "dynamic", source, args, "dynamic", opt_options=opt_options,
         use_reachability=use_reachability, runs=2,
-        check_invariants=check_invariants, max_cycles=max_cycles)
+        check_invariants=check_invariants, max_cycles=max_cycles,
+        cache_config=cache_config)
     outcomes = {"interp": interp, "static": static, "dynamic": dynamic}
 
     _compare(interp, static, divergences)
@@ -378,7 +409,7 @@ def run_oracle(source: str, args: List[int],
             "dynamic+regactions", source, args, "dynamic",
             opt_options=opt_options, use_reachability=use_reachability,
             register_actions=True, check_invariants=check_invariants,
-            max_cycles=max_cycles)
+            max_cycles=max_cycles, cache_config=cache_config)
         outcomes["dynamic+regactions"] = actions
         _compare(interp, actions, divergences)
         for failure in action_invariants:
