@@ -30,6 +30,10 @@ end to end.
 from .codecache import (
     CacheConfig, CacheKey, CacheStats, CachedEntry, CodeCache,
 )
+from .errors import (
+    ArenaExhausted, ReproError, StitchBudgetExceeded,
+)
+from .faults import FAULT_SITES, FaultPlan
 from .frontend.errors import (
     AnnotationError, CompileError, LexError, ParseError, TypeError_,
 )
@@ -39,6 +43,7 @@ from .opt.pipeline import OptOptions, OptStats
 from .runtime.engine import (
     Program, RunResult, compile_ir_module, compile_program,
 )
+from .runtime.guards import BreakerConfig, StitchBudget
 from .runtime.interp import Interpreter, InterpError, run_source
 from .dynamic.stitcher import StitchError, StitchReport
 
@@ -46,13 +51,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnnotationError",
+    "ArenaExhausted",
+    "BreakerConfig",
     "CacheConfig",
     "CacheKey",
     "CacheStats",
     "CachedEntry",
     "CodeCache",
     "CompileError",
+    "FAULT_SITES",
     "FUSED_STITCHER",
+    "FaultPlan",
     "Interpreter",
     "InterpError",
     "LexError",
@@ -60,7 +69,10 @@ __all__ = [
     "OptStats",
     "ParseError",
     "Program",
+    "ReproError",
     "RunResult",
+    "StitchBudget",
+    "StitchBudgetExceeded",
     "StitchError",
     "StitchReport",
     "StitcherCosts",

@@ -11,6 +11,7 @@ Usage::
     python -m repro program.c --dump-templates      # region templates
     python -m repro program.c --register-actions
     python -m repro program.c --fused-stitcher
+    python -m repro program.c --faults all:0.1       # chaos run
 """
 
 from __future__ import annotations
@@ -58,6 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-reachability", action="store_true",
                         help="disable the reachability analysis "
                              "(ablation)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject deterministic stitch/cache faults "
+                             "(SITE:PROB[,SITE:PROB...] or all:PROB, "
+                             "optionally @SEED; e.g. all:0.1@7) -- "
+                             "failed stitches degrade to the static "
+                             "fallback tier")
     parser.add_argument("--stats", action="store_true",
                         help="print the per-component cycle breakdown "
                              "and stitch reports")
@@ -134,9 +141,15 @@ def _run(args, source: str) -> int:
         print()
 
     from .codecache import CacheConfig
+    from .faults import FaultPlan
     cache_config = CacheConfig(policy=args.cache_policy,
                                max_entries=args.cache_entries,
                                max_words=args.cache_words)
+    try:
+        fault_plan = FaultPlan.parse(args.faults)
+    except ValueError as exc:
+        print("error: --faults %s" % exc, file=sys.stderr)
+        return 2
     try:
         program = compile_program(
             source,
@@ -145,6 +158,7 @@ def _run(args, source: str) -> int:
             stitcher_costs=FUSED_STITCHER if args.fused_stitcher else None,
             register_actions=args.register_actions,
             cache_config=cache_config,
+            fault_plan=fault_plan,
         )
     except CompileError as exc:
         print("compile error: %s" % exc, file=sys.stderr)
@@ -185,6 +199,22 @@ def _run(args, source: str) -> int:
               % (stats.policy, stats.hits, stats.misses, stats.evictions,
                  stats.compactions, stats.invalidations, stats.restitches,
                  stats.live_entries, stats.live_code_words))
+
+    if result.fallbacks or result.fault_counts:
+        by_reason = {}
+        for event in result.fallbacks:
+            by_reason[event.reason] = by_reason.get(event.reason, 0) + 1
+        detail = ", ".join("%d %s" % (count, reason)
+                           for reason, count in sorted(by_reason.items()))
+        print("degraded: %d fallback entries (%s); faults injected: %s"
+              % (len(result.fallbacks), detail or "none",
+                 ", ".join("%s x%d" % (site, count) for site, count
+                           in sorted(result.fault_counts.items()))
+                 or "none"))
+        for key, snap in sorted(result.breaker_stats.items()):
+            print("breaker %s:%d: %d trips, %d resets, cooldown %d"
+                  % (key[0], key[1], snap["trips"], snap["resets"],
+                     snap["cooldown"]))
 
     if args.stats:
         print()

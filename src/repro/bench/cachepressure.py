@@ -29,6 +29,7 @@ import sys
 from typing import Dict, List, Optional
 
 from ..codecache import CacheConfig
+from ..errors import ArenaExhausted
 from ..obs import trace as obs_trace
 from ..runtime.engine import Program, compile_program
 
@@ -202,6 +203,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                   % cell["value"])
             evictions = int(cell["evictions"])
             compactions = int(cell["compactions"])
+    except ArenaExhausted as exc:
+        # A capacity/workload combination that outgrows the arena is a
+        # configuration problem, not a crash: report what was asked for
+        # and what was left, then fail the run cleanly.
+        print("FAIL: code arena exhausted under this workload: %s" % exc,
+              file=sys.stderr)
+        print("      (shrink --executions/--cardinality or raise the "
+              "capacity)", file=sys.stderr)
+        return 1
     finally:
         if tracer is not None:
             obs_trace.install(None)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ArenaExhausted, VMError, mark_injected
 from ..obs import trace as obs_trace
 from ..obs.metrics import registry as obs_metrics
 from .arena import CodeArena, PoolArena
@@ -57,6 +58,9 @@ class CacheStats:
     #: stitches for keys that had been stitched before (post-eviction
     #: or post-invalidation re-compilations).
     restitches: int = 0
+    #: cache hits whose entry failed integrity verification (the entry
+    #: was invalidated and the key re-stitched).
+    checksum_failures: int = 0
     live_entries: int = 0
     live_code_words: int = 0
     #: live (base, words) code ranges -- the only run-time code ranges
@@ -78,9 +82,12 @@ class CacheStats:
 class CodeCache:
     """Keyed cache of stitched region versions for one VM execution."""
 
-    def __init__(self, vm, config: Optional[CacheConfig] = None):
+    def __init__(self, vm, config: Optional[CacheConfig] = None,
+                 faults=None):
         self.vm = vm
         self.config = config or CacheConfig()
+        #: fault-injection plan (repro.faults.FaultPlan) or None.
+        self.faults = faults
         self.policy = make_policy(self.config)
         self.code_arena = CodeArena(vm)
         self.pool_arena = PoolArena(vm)
@@ -99,7 +106,13 @@ class CodeCache:
         self._restitches = 0
         self._hits = 0
         self._misses = 0
+        self._checksum_failures = 0
         self._mismatches: List[str] = []
+        #: immovable (base, words) code ranges the cache must route
+        #: around: fallback blocks live inside the arena's address
+        #: range but are not cache entries (see :meth:`reserve`).
+        self._reserved: List[Tuple[int, int]] = []
+        self._reserved_words = 0
 
     # -- the two runtime-service entry points -------------------------------
 
@@ -116,6 +129,26 @@ class CodeCache:
                 obs_trace.instant("cache.miss", "runtime", region=region,
                                   key=list(key.key))
             return None
+        if not self._verify(entry):
+            # Integrity failure: drop the corrupted version and report
+            # a miss, so the region is re-stitched once (recovery); a
+            # second failure falls back via the engine's breaker.
+            self._checksum_failures += 1
+            del self.entries[key]
+            if not entry.pinned:
+                self._release(entry)
+            if obs_metrics._enabled:
+                obs_metrics.counter("cache.checksum_failures").inc()
+                obs_metrics.counter("retry.checksum").inc()
+            if obs_trace._current is not None:
+                obs_trace.instant("cache.checksum_fail", "runtime",
+                                  region=region, key=list(key.key),
+                                  base=entry.base)
+            self._misses += 1
+            if obs_metrics._enabled:
+                obs_metrics.counter("cache.misses").inc()
+            self._update_gauges()
+            return None
         self._hits += 1
         self.policy.on_hit(entry, self.tick)
         if obs_metrics._enabled:
@@ -124,6 +157,24 @@ class CodeCache:
             obs_trace.instant("cache.hit", "runtime", region=region,
                               key=list(key.key), entry=entry.entry_pc)
         return entry
+
+    def _verify(self, entry: CachedEntry) -> bool:
+        """Integrity check on a hit: the stamped checksum against the
+        canonical image, plus an O(1) endpoint identity spot-check
+        against the installed words (catches filler overwrites and
+        mis-compaction without rehashing the whole entry)."""
+        if self.faults is not None \
+                and self.faults.should_fire("cache.checksum"):
+            return False
+        if entry.checksum and entry.checksum != entry.compute_checksum():
+            return False
+        code = self.vm.code
+        words = entry.words
+        if words and not (code[entry.base] is entry.code[0]
+                          and code[entry.base + words - 1]
+                          is entry.code[-1]):
+            return False
+        return True
 
     def insert(self, entry: CachedEntry) -> CachedEntry:
         """Admit a freshly stitched entry: invalidate on fingerprint
@@ -167,10 +218,26 @@ class CodeCache:
                 and len(self.entries) + 1 > config.max_entries:
             return True
         if config.max_words is not None \
-                and self.code_arena.used_words + incoming_words \
-                > config.max_words:
+                and self._cache_words + incoming_words > config.max_words:
             return True
         return False
+
+    @property
+    def _cache_words(self) -> int:
+        """Arena words attributable to the cache itself.  Reserved
+        (fallback) blocks sit inside the arena's address range but are
+        not the cache's to evict, so they do not count against its
+        capacity."""
+        return self.code_arena.used_words - self._reserved_words
+
+    def reserve(self, base: int, words: int) -> None:
+        """Mark ``[base, base+words)`` immovable and not cache-owned:
+        compaction routes around it and capacity accounting ignores
+        it.  Used for per-region fallback blocks, which live in code
+        memory past the arena start but must survive every cache
+        operation."""
+        self._reserved.append((base, words))
+        self._reserved_words += words
 
     def _make_room(self, incoming_words: int) -> None:
         if not self.config.bounded:
@@ -229,10 +296,20 @@ class CodeCache:
         is allocated before the code to stay address-identical with
         the historical (unbounded) install sequence."""
         entry.pool_words = max(1, len(entry.pool))
+        if self.faults is not None and self.faults.should_fire("arena.pool"):
+            raise mark_injected(ArenaExhausted(
+                "injected fault: constant-pool arena allocation",
+                requested=entry.pool_words, free=0,
+                func=entry.key.func, region_id=entry.key.region_id))
         pool_base = self.pool_arena.alloc(len(entry.pool))
         for i, value in enumerate(entry.pool):
             self.vm.store(pool_base + i, value)
         words = entry.words
+        if self.faults is not None and self.faults.should_fire("arena.code"):
+            raise mark_injected(ArenaExhausted(
+                "injected fault: code arena placement",
+                requested=words, free=self.code_arena.free_words,
+                func=entry.key.func, region_id=entry.key.region_id))
         arena = self.code_arena
         base = arena.try_alloc(words)
         if base is None and arena.fragmented(words) \
@@ -246,24 +323,34 @@ class CodeCache:
         entry.place(base)
         entry.pool_base = pool_base
         entry.report.pool_base = pool_base
+        entry.checksum = entry.compute_checksum()
 
     def compact(self) -> bool:
         """Slide unpinned live entries toward the arena base (pinned
-        entries are immovable obstacles), rebasing each via its
-        relocation records, then rebuild the free list from the gaps.
-        Returns True if anything moved."""
-        live = sorted(self.entries.values(), key=lambda e: e.base)
+        entries and reserved fallback blocks are immovable obstacles),
+        rebasing each via its relocation records, then rebuild the
+        free list from the gaps.  Returns True if anything moved."""
+        if self.faults is not None \
+                and self.faults.should_fire("cache.compact"):
+            raise mark_injected(VMError(
+                "injected fault: code-cache compaction"))
+        # Entries and reserved ranges are disjoint allocations, so a
+        # single base-ordered sweep sees every obstacle before any
+        # entry that could slide into it.
+        items = [(e.base, e.words, e) for e in self.entries.values()]
+        items += [(base, words, None) for base, words in self._reserved]
+        items.sort(key=lambda item: item[0])
         cursor = self.code_arena.start
         moved = 0
         free_blocks: List[Tuple[int, int]] = []
-        for entry in live:
-            if entry.pinned:
-                if cursor < entry.base:
-                    free_blocks.append((cursor, entry.base - cursor))
-                cursor = max(cursor, entry.base + entry.words)
+        for base, words, entry in items:
+            if entry is None or entry.pinned:
+                if cursor < base:
+                    free_blocks.append((cursor, base - cursor))
+                cursor = max(cursor, base + words)
                 continue
-            if entry.base > cursor:
-                self.vm.move_code(entry.base, cursor, entry.words)
+            if base > cursor:
+                self.vm.move_code(base, cursor, words)
                 entry.place(cursor)
                 moved += 1
             cursor = entry.base + entry.words
@@ -287,8 +374,7 @@ class CodeCache:
     def _update_gauges(self) -> None:
         if obs_metrics._enabled:
             obs_metrics.gauge("cache.entries").set(len(self.entries))
-            obs_metrics.gauge("cache.code_words").set(
-                self.code_arena.used_words)
+            obs_metrics.gauge("cache.code_words").set(self._cache_words)
 
     def snapshot(self) -> CacheStats:
         live = sorted(self.entries.values(), key=lambda e: e.base)
@@ -302,8 +388,9 @@ class CodeCache:
             compactions=self._compactions,
             invalidations=self._invalidations,
             restitches=self._restitches,
+            checksum_failures=self._checksum_failures,
             live_entries=len(live),
-            live_code_words=self.code_arena.used_words,
+            live_code_words=self._cache_words,
             live_blocks=[(e.base, e.words) for e in live],
             live_entry_pcs=[e.entry_pc for e in live],
             restitch_mismatches=list(self._mismatches),

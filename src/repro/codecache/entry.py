@@ -32,6 +32,7 @@ Relocation kinds:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import List, NamedTuple, Tuple, Union
 
@@ -96,7 +97,11 @@ class CachedEntry:
     pool_words: int = 1
     #: policy bookkeeping: cache tick of the last hit or insert.
     last_use: int = 0
+    #: integrity checksum over the canonical image, stamped at install
+    #: and verified on every cache hit (0 = not yet stamped).
+    checksum: int = 0
     _canonical: Tuple = field(default=None, repr=False)  # type: ignore
+    _crc: int = field(default=0, repr=False)
 
     @property
     def words(self) -> int:
@@ -130,6 +135,15 @@ class CachedEntry:
                 for n, i in enumerate(self.code))
             self._canonical = (words, tuple(self.pool), self.entry_offset)
         return self._canonical
+
+    def compute_checksum(self) -> int:
+        """CRC32 over the canonical (base-independent) image, so the
+        checksum survives compaction and rebasing.  Memoized: the
+        canonical image never changes after the stitch."""
+        if not self._crc:
+            payload = repr(self.canonical_words()).encode("utf-8")
+            self._crc = zlib.crc32(payload) or 1
+        return self._crc
 
 
 def install_entry(vm, entry: CachedEntry) -> CachedEntry:

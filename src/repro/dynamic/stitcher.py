@@ -34,6 +34,9 @@ from ..codecache.entry import (
 from ..codegen.objects import (
     CompiledFunction, RegionCode, TemplateBlock, linearize_block,
 )
+from ..errors import (  # noqa: F401  (StitchError re-exported)
+    StitchBudgetExceeded, StitchError, mark_injected,
+)
 from ..machine.costs import StitcherCosts
 from ..machine.isa import CPOOL, MInstr, SCRATCH2, ZERO, fits_imm
 from ..obs import trace as obs_trace
@@ -48,10 +51,6 @@ MAX_UNROLL = 1 << 16
 #: Environment: active unrolled loops, innermost last:
 #: tuple of (loop_id, record address).
 Env = Tuple[Tuple[int, int], ...]
-
-
-class StitchError(Exception):
-    """Malformed table or runaway unrolling."""
 
 
 @dataclass
@@ -105,8 +104,14 @@ class Stitcher:
                  table_addr: int, costs: StitcherCosts,
                  key: Tuple[Number, ...] = (),
                  register_actions: bool = False,
-                 functions: Optional[Dict[str, CompiledFunction]] = None):
+                 functions: Optional[Dict[str, CompiledFunction]] = None,
+                 faults=None, budget=None):
         self.vm = vm
+        #: fault-injection plan (repro.faults.FaultPlan) or None.
+        self.faults = faults
+        #: resource guard (repro.runtime.guards.StitchBudget) or None.
+        self.budget = budget if budget is not None and budget.enabled() \
+            else None
         self.compiled = compiled
         #: Symbol table for calls out of stitched code.
         self.functions = functions if functions is not None \
@@ -146,6 +151,10 @@ class Stitcher:
     # -- table access -----------------------------------------------------
 
     def _slot_value(self, slot: SlotRef, env: Env) -> Number:
+        if self.faults is not None and self.faults.should_fire("stitch.table"):
+            raise mark_injected(StitchError(
+                "injected fault: run-time constants table read",
+                func=self.region.func_name, region_id=self.region.region_id))
         loop_id, index = slot
         if loop_id is None:
             value = self.vm.load(self.table_addr + index)
@@ -176,16 +185,7 @@ class Stitcher:
             self._emit_block(block_name, env)
         self._finalize()
         report.directives += 2  # START / END
-        report.cycles = (
-            self.costs.per_region
-            + report.directives * self.costs.per_directive
-            + report.instrs_emitted * self.costs.per_instr_copied
-            + report.holes_patched * self.costs.per_hole
-            + report.branch_fixups * self.costs.per_branch_fixup
-            + report.pool_entries * self.costs.per_pool_entry
-            + report.records_followed * self.costs.per_loop_record
-            + sum(report.peepholes.values()) * self.costs.per_peephole
-        )
+        report.cycles = stitch_cost(report, self.costs)
         return report
 
     # -- scheduling with loop-environment transitions ------------------------
@@ -224,6 +224,17 @@ class Stitcher:
                             self.report.directives += 1  # RESTART_LOOP
                             count = self.report.loop_iterations.get(
                                 header_plan.loop_id, 1)
+                            budget = self.budget
+                            if budget is not None \
+                                    and budget.max_unroll is not None \
+                                    and count >= budget.max_unroll:
+                                raise StitchBudgetExceeded(
+                                    "stitch budget: loop %d exceeds "
+                                    "max_unroll=%d iterations"
+                                    % (loop_id, budget.max_unroll),
+                                    limit="unroll",
+                                    func=self.region.func_name,
+                                    region_id=self.region.region_id)
                             if count > MAX_UNROLL:
                                 raise StitchError(
                                     "loop %d unrolled past %d iterations "
@@ -336,6 +347,21 @@ class Stitcher:
         term = template.term
         if term.kind == "const_branch":
             self._emit_const_branch(block_name, template, env)
+        budget = self.budget
+        if budget is not None:
+            if budget.max_words is not None and len(out) > budget.max_words:
+                raise StitchBudgetExceeded(
+                    "stitch budget: %d words emitted exceeds max_words=%d"
+                    % (len(out), budget.max_words), limit="words",
+                    func=self.region.func_name,
+                    region_id=self.region.region_id)
+            if budget.max_cycles is not None \
+                    and stitch_cost(report, self.costs) > budget.max_cycles:
+                raise StitchBudgetExceeded(
+                    "stitch budget: stitcher cycles exceed max_cycles=%d"
+                    % budget.max_cycles, limit="cycles",
+                    func=self.region.func_name,
+                    region_id=self.region.region_id)
 
     def _tag(self, out_index: int, action, env: Env) -> None:
         """Record a register-action tag for the instruction just emitted."""
@@ -378,6 +404,10 @@ class Stitcher:
     # -- hole patching --------------------------------------------------------
 
     def _emit_patched(self, instr: MInstr, hole, env: Env) -> None:
+        if self.faults is not None and self.faults.should_fire("stitch.hole"):
+            raise mark_injected(StitchError(
+                "injected fault: hole patching (%s)" % hole.kind,
+                func=self.region.func_name, region_id=self.region.region_id))
         value = self._slot_value(tuple(hole.slot), env)
         self.report.holes_patched += 1
         self.report.directives += 1  # HOLE
@@ -552,6 +582,21 @@ class Stitcher:
         )
 
 
+def stitch_cost(report: StitchReport, costs: StitcherCosts) -> int:
+    """The stitcher cost model applied to what a (possibly partial)
+    stitch did so far -- also how aborted stitches are charged."""
+    return (
+        costs.per_region
+        + report.directives * costs.per_directive
+        + report.instrs_emitted * costs.per_instr_copied
+        + report.holes_patched * costs.per_hole
+        + report.branch_fixups * costs.per_branch_fixup
+        + report.pool_entries * costs.per_pool_entry
+        + report.records_followed * costs.per_loop_record
+        + sum(report.peepholes.values()) * costs.per_peephole
+    )
+
+
 def _with_imm(instr: MInstr, imm: int) -> MInstr:
     clone = instr.copy()
     clone.imm = imm
@@ -568,18 +613,32 @@ def stitch_entry(vm, compiled: CompiledFunction, region: RegionCode,
                  table_addr: int, costs: StitcherCosts,
                  key: Tuple[Number, ...] = (),
                  register_actions: bool = False,
-                 functions: Optional[Dict[str, CompiledFunction]] = None
-                 ) -> CachedEntry:
+                 functions: Optional[Dict[str, CompiledFunction]] = None,
+                 faults=None, budget=None) -> CachedEntry:
     """Run the stitcher, producing a relocatable (not yet installed)
     :class:`~repro.codecache.entry.CachedEntry`; the stitcher's cycles
-    are charged to the region's ``stitcher:`` owner."""
+    are charged to the region's ``stitcher:`` owner.
+
+    An aborted stitch (injected fault, budget trip, malformed table)
+    still charges the cycles spent up to the abort before re-raising --
+    a failed dynamic compile is not free, and the break-even economics
+    must see it."""
     stitcher = Stitcher(vm, compiled, region, table_addr, costs, key,
                         register_actions=register_actions,
-                        functions=functions)
+                        functions=functions, faults=faults, budget=budget)
     with obs_trace.span("stitch.region", "stitch",
                         region="%s:%d" % (region.func_name,
                                           region.region_id)) as span:
-        report = stitcher.stitch()
+        try:
+            report = stitcher.stitch()
+        except StitchError:
+            partial = stitch_cost(stitcher.report, costs)
+            vm.charge("stitcher:%s:%d"
+                      % (region.func_name, region.region_id), partial)
+            if span is not None:
+                span["aborted"] = True
+                span["stitcher_cycles"] = partial
+            raise
         if span is not None:
             span["key"] = list(report.key)
             span["instrs_emitted"] = report.instrs_emitted

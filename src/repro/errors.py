@@ -1,0 +1,96 @@
+"""The shared error hierarchy.
+
+Every failure the reproduction itself raises descends from
+:class:`ReproError`, so callers can catch one base type and still keep
+the useful taxonomy: compile-time diagnostics (``CompileError`` in
+:mod:`repro.frontend.errors`), machine faults (:class:`VMError`),
+dynamic-compile failures (:class:`StitchError`) and typed resource
+exhaustion (:class:`ArenaExhausted`).
+
+Two fields matter to the graceful-degradation tier
+(:mod:`repro.runtime.fallback`):
+
+* ``func`` / ``region_id`` -- where the failure happened, stamped by
+  raisers that know their region so messages always carry context;
+* ``injected`` -- True when the error was raised by the deterministic
+  fault-injection harness (:mod:`repro.faults`) rather than by a real
+  failure.  The engine uses it to label fallback events, and the
+  oracle uses it to prove every injected fault is accounted for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base of every error the reproduction raises itself."""
+
+    def __init__(self, message: str = "", func: Optional[str] = None,
+                 region_id: Optional[int] = None):
+        self.func = func
+        self.region_id = region_id
+        #: True when raised by the fault-injection harness.
+        self.injected = False
+        if func is not None and region_id is not None:
+            message = "%s (region %s:%d)" % (message, func, region_id)
+        elif func is not None:
+            message = "%s (function %s)" % (message, func)
+        super().__init__(message)
+
+
+class VMError(ReproError):
+    """Machine fault: wild address, bad opcode, cycle budget exceeded..."""
+
+
+class ArenaExhausted(VMError):
+    """An allocation the heap / code / pool arenas could not serve.
+
+    Carries the request size and the words that were still free, so
+    callers (the cache-pressure bench, the fallback tier) can report
+    the pressure instead of a bare traceback.
+    """
+
+    def __init__(self, message: str = "heap exhausted",
+                 requested: Optional[int] = None,
+                 free: Optional[int] = None,
+                 func: Optional[str] = None,
+                 region_id: Optional[int] = None):
+        self.requested = requested
+        self.free = free
+        if requested is not None:
+            message = "%s (requested %d words, %d free)" % (
+                message, requested, free if free is not None else 0)
+        super().__init__(message, func=func, region_id=region_id)
+
+
+class StitchError(ReproError):
+    """Malformed table or runaway unrolling."""
+
+
+class StitchBudgetExceeded(StitchError):
+    """A resource guard aborted the stitch (see
+    :class:`repro.runtime.guards.StitchBudget`): the region falls back
+    to generic execution instead of dying."""
+
+    def __init__(self, message: str = "", limit: str = "",
+                 func: Optional[str] = None,
+                 region_id: Optional[int] = None):
+        #: which budget knob tripped ("words", "unroll", "cycles").
+        self.limit = limit
+        super().__init__(message, func=func, region_id=region_id)
+
+
+class RegionNotFound(ReproError, KeyError):
+    """No such region in the compiled program.  Subclasses ``KeyError``
+    for compatibility with historical callers that caught the bare
+    ``KeyError`` :meth:`Program.template_size` used to raise."""
+
+    # KeyError.__str__ reprs the message; keep the plain text.
+    __str__ = Exception.__str__
+
+
+def mark_injected(exc: ReproError) -> ReproError:
+    """Tag ``exc`` as fault-injected (and return it, for ``raise``)."""
+    exc.injected = True
+    return exc

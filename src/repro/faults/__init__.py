@@ -1,0 +1,10 @@
+"""Deterministic fault injection for the graceful-degradation tier.
+
+See :mod:`repro.faults.plan` for the site catalog and semantics, and
+``docs/ROBUSTNESS.md`` for the degradation ladder the injected faults
+exercise.
+"""
+
+from .plan import FAULT_SITES, FaultPlan
+
+__all__ = ["FAULT_SITES", "FaultPlan"]

@@ -1,0 +1,153 @@
+"""Deterministic fault injection: the seeded :class:`FaultPlan`.
+
+A plan maps *fault sites* -- named points in the dynamic-compilation
+pipeline -- to firing probabilities.  Each site consults the plan
+(:meth:`FaultPlan.should_fire`) at the moment the real failure could
+occur; when the draw fires, the site raises the same *typed* error a
+genuine failure would raise, tagged ``injected = True`` (see
+:func:`repro.errors.mark_injected`).  The engine's graceful-degradation
+tier catches it and transfers the region to fallback execution, and the
+differential oracle proves that (a) execution still matches the
+interpreter bit-for-bit and (b) every injected fault is matched by an
+observed fallback or checksum retry.
+
+Determinism: the plan owns one seeded ``random.Random``; a draw is
+consumed only at sites with a configured non-zero probability, in
+execution order, so a given (program, seed, spec) triple always
+injects the same faults.  A plan is single-run state -- the oracle
+builds a fresh plan per run.
+
+Fault-site catalog (see ``docs/ROBUSTNESS.md``):
+
+====================  ====================================================
+``stitch.table``      run-time-constants table / loop-record read
+``stitch.hole``       hole patching inside the stitcher
+``arena.pool``        constant-pool arena allocation at install
+``arena.code``        code arena placement at install
+``cache.compact``     the compaction pass
+``cache.checksum``    cached-entry checksum verification on a hit
+====================  ====================================================
+
+All sites except ``cache.checksum`` raise; ``cache.checksum`` instead
+makes the verification *report a mismatch*, exercising the
+invalidate-and-restitch recovery path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..obs import trace as obs_trace
+from ..obs.metrics import registry as obs_metrics
+
+#: Every site a plan may configure, in pipeline order.
+FAULT_SITES = (
+    "stitch.table",
+    "stitch.hole",
+    "arena.pool",
+    "arena.code",
+    "cache.compact",
+    "cache.checksum",
+)
+
+
+class FaultPlan:
+    """Seeded, probabilistic fault schedule over the named sites."""
+
+    def __init__(self, probabilities: Dict[str, float], seed: int = 0,
+                 limit: Optional[int] = None):
+        for site, prob in probabilities.items():
+            if site not in FAULT_SITES:
+                raise ValueError("unknown fault site %r (have: %s)"
+                                 % (site, ", ".join(FAULT_SITES)))
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError("fault probability for %s out of "
+                                 "[0, 1]: %r" % (site, prob))
+        self.probabilities = dict(probabilities)
+        self.seed = seed
+        #: stop injecting after this many total faults (None: no cap).
+        self.limit = limit
+        self._rng = random.Random(seed)
+        #: site -> faults actually injected.
+        self.counts: Dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: Optional[str], seed: int = 0,
+              limit: Optional[int] = None) -> Optional["FaultPlan"]:
+        """``"all:P"`` or ``"site:p,site:p"``, optionally ``"...@SEED"``.
+
+        ``None``, ``""`` and ``"off"`` mean no plan (returns None).
+        """
+        if spec is None:
+            return None
+        spec = spec.strip()
+        if not spec or spec == "off":
+            return None
+        if "@" in spec:
+            spec, _, seed_text = spec.rpartition("@")
+            try:
+                seed = int(seed_text)
+            except ValueError:
+                raise ValueError("bad fault-plan seed %r" % seed_text)
+        probabilities: Dict[str, float] = {}
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            site, sep, prob_text = clause.partition(":")
+            if not sep:
+                raise ValueError("bad fault clause %r (want SITE:PROB)"
+                                 % clause)
+            try:
+                prob = float(prob_text)
+            except ValueError:
+                raise ValueError("bad fault probability %r in %r"
+                                 % (prob_text, clause))
+            if site == "all":
+                for name in FAULT_SITES:
+                    probabilities[name] = prob
+            else:
+                probabilities[site] = prob
+        return cls(probabilities, seed=seed, limit=limit)
+
+    def describe(self) -> str:
+        if set(self.probabilities) == set(FAULT_SITES) and \
+                len(set(self.probabilities.values())) == 1:
+            text = "all:%g" % next(iter(self.probabilities.values()))
+        else:
+            text = ",".join("%s:%g" % (site, self.probabilities[site])
+                            for site in FAULT_SITES
+                            if site in self.probabilities)
+        return "%s@%d" % (text, self.seed)
+
+    # -- the one runtime question ------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def should_fire(self, site: str) -> bool:
+        """Consult the plan at ``site``; count and report a firing.
+
+        Sites with no configured (or zero) probability consume no
+        randomness, so adding instrumentation to new sites never
+        perturbs existing seeded schedules.
+        """
+        prob = self.probabilities.get(site)
+        if not prob:
+            return False
+        if self.limit is not None and self.total_injected >= self.limit:
+            return False
+        if self._rng.random() >= prob:
+            return False
+        self.counts[site] = self.counts.get(site, 0) + 1
+        if obs_metrics._enabled:
+            obs_metrics.counter("fault.injected").inc()
+            obs_metrics.counter("fault.injected.%s" % site).inc()
+        if obs_trace._current is not None:
+            obs_trace.instant("fault.inject", "faults", site=site,
+                              nth=self.total_injected)
+        return True

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from ..errors import ReproError
 
-class CompileError(Exception):
+
+class CompileError(ReproError):
     """A user-facing error in MiniC source code."""
 
     def __init__(self, message: str, line: int = 0, col: int = 0):

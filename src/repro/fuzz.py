@@ -5,6 +5,7 @@ Usage::
     python -m repro.fuzz --seed 0 --iters 200
     python -m repro.fuzz --seed 7 --iters 50 --max-stmts 20
     python -m repro.fuzz --seed 0 --iters 200 --corpus-dir tests/corpus
+    python -m repro.fuzz --iters 150 --faults all:0.1   # chaos mode
 
 Each iteration draws one whole program from
 :mod:`repro.testing.genprog` (deterministically from ``seed`` plus the
@@ -28,6 +29,7 @@ import time
 from typing import Dict, List, Optional
 
 from .codecache import CacheConfig
+from .faults import FaultPlan
 from .obs import trace as obs_trace
 from .testing.ablate import (
     format_reproducer, localize_divergence, shrink_program,
@@ -53,7 +55,8 @@ def random_cache_config(seed: int, iteration: int) -> CacheConfig:
 
 def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
              max_cycles: int = 200_000_000,
-             cache_config: Optional[CacheConfig] = None):
+             cache_config: Optional[CacheConfig] = None,
+             faults: Optional[str] = None):
     """Generate and check one program.
 
     Returns ``(program, bad_report, annotation_rejected)``:
@@ -62,7 +65,8 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     ``None`` when every argument agreed.  ``annotation_rejected`` is
     True when the dynamic path legitimately refused the region shape
     for some argument (the splitter's AnnotationError).
-    ``cache_config`` applies to the oracle's dynamic legs.
+    ``cache_config`` and ``faults`` (a fault-injection spec, see
+    :meth:`FaultPlan.parse`) apply to the oracle's dynamic legs.
     """
     program = generate_program(seed * 1_000_003 + iteration,
                                max_stmts=max_stmts)
@@ -70,7 +74,7 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     rejected = False
     for arg in program.args:
         report = run_oracle(source, [arg], max_cycles=max_cycles,
-                            cache_config=cache_config)
+                            cache_config=cache_config, faults=faults)
         rejected = rejected or report.annotation_reject
         if report.compile_error:
             return program, report, rejected
@@ -80,10 +84,11 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
 
 
 def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
-                   max_cycles: int) -> int:
+                   max_cycles: int, faults: Optional[str] = None) -> int:
     """Replay every ``*.c`` reproducer in ``directory`` through the
-    oracle, optionally under a bounded cache -- the CI proof that
-    eviction never changes program results on known-tricky programs."""
+    oracle, optionally under a bounded cache and/or injected faults --
+    the CI proof that neither eviction nor graceful degradation ever
+    changes program results on known-tricky programs."""
     import glob
     import re
 
@@ -92,6 +97,8 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
         print("no *.c reproducers under %s" % directory, file=sys.stderr)
         return 1
     label = cache_config.describe() if cache_config else "unbounded"
+    if faults:
+        label += " faults=%s" % faults
     failures = 0
     for path in paths:
         with open(path) as handle:
@@ -101,7 +108,7 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
                     if match else []) or [0]
         for arg in arg_list:
             report = run_oracle(text, [arg], max_cycles=max_cycles,
-                                cache_config=cache_config)
+                                cache_config=cache_config, faults=faults)
             if report.annotation_reject or report.ok:
                 continue
             failures += 1
@@ -152,6 +159,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache-fuzz", action="store_true",
                         help="always run the default unbounded cache "
                              "(pre-codecache behavior)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject deterministic faults into the "
+                             "dynamic legs (SITE:PROB[,SITE:PROB...] or "
+                             "all:PROB, optionally @SEED; e.g. "
+                             "all:0.1) -- the oracle then proves the "
+                             "degraded runs still match the interpreter")
     parser.add_argument("--replay", default=None, metavar="DIR",
                         help="replay DIR/*.c reproducers through the "
                              "oracle (honoring --cache) instead of "
@@ -161,8 +174,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     fixed_cache = (CacheConfig.parse(args.cache)
                    if args.cache is not None else None)
+    if args.faults is not None:
+        FaultPlan.parse(args.faults)  # fail fast on a bad spec
     if args.replay is not None:
-        return _replay_corpus(args.replay, fixed_cache, args.max_cycles)
+        return _replay_corpus(args.replay, fixed_cache, args.max_cycles,
+                              faults=args.faults)
 
     corpus_dir = args.corpus_dir
     if corpus_dir is None:
@@ -192,7 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_config = random_cache_config(args.seed, i)
         program, bad, rejected = fuzz_one(
             args.seed, i, max_stmts=args.max_stmts,
-            max_cycles=args.max_cycles, cache_config=cache_config)
+            max_cycles=args.max_cycles, cache_config=cache_config,
+            faults=args.faults)
         # Snapshot the tail now, before ablation/shrinking reruns
         # overwrite the ring with events from other programs.
         trace_tail = list(tracer.events) if tracer is not None else []
@@ -213,11 +230,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         divergences += 1
         print("=" * 70)
-        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s"
+        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s%s"
               % (i, args.seed, bad.args,
-                 cache_config.describe() if cache_config else "unbounded"))
+                 cache_config.describe() if cache_config else "unbounded",
+                 " faults=%s" % args.faults if args.faults else ""))
         for divergence in bad.divergences:
             print("  " + str(divergence))
+        if args.faults:
+            # Is the bug fault-specific?  Ablation/shrink reruns run
+            # fault-free, so a divergence that needs injected faults
+            # must keep its original program and spec.
+            recheck = run_oracle(program.source, bad.args,
+                                 max_cycles=args.max_cycles,
+                                 cache_config=cache_config)
+            if recheck.ok:
+                print("  divergence requires faults=%s (vanishes "
+                      "fault-free); writing unshrunk reproducer"
+                      % args.faults)
+                os.makedirs(corpus_dir, exist_ok=True)
+                name = "seed%d_iter%03d_faults.c" % (args.seed, i)
+                path = os.path.join(corpus_dir, name)
+                with open(path, "w") as handle:
+                    handle.write("// faults: %s\n" % args.faults)
+                    if cache_config is not None:
+                        handle.write("// cache: %s\n"
+                                     % cache_config.describe())
+                    handle.write(format_reproducer(program, bad, None))
+                print("  wrote %s" % path)
+                continue
         if cache_config is not None and cache_config.bounded:
             # Is the bug cache-specific?  The ablation/shrink tooling
             # reruns under the default cache, so a bounded-cache-only
@@ -268,9 +308,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     elapsed = time.time() - started
     print("-" * 70)
     print("fuzz: %d programs, %d divergences, %d invalid, "
-          "%d annotation-rejected, %.1fs (seed %d)"
+          "%d annotation-rejected, %.1fs (seed %d%s)"
           % (args.iters, divergences, compile_errors,
-             annotation_rejects, elapsed, args.seed))
+             annotation_rejects, elapsed, args.seed,
+             ", faults=%s" % args.faults if args.faults else ""))
     if args.stats and feature_counts:
         print("feature coverage:")
         for feature in sorted(feature_counts,

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..errors import ArenaExhausted, VMError  # noqa: F401  (re-exported)
 from ..ir.semantics import EvalTrap, binop_impl
 from ..ir.values import wrap_int
 from .costs import op_cost
@@ -47,10 +48,6 @@ from .isa import (
 )
 
 Number = Union[int, float]
-
-
-class VMError(Exception):
-    """Machine fault: wild address, bad opcode, cycle budget exceeded..."""
 
 
 #: Pure builtin signatures: name -> (arg kinds, result kind).
@@ -223,9 +220,11 @@ class VM:
 
     def alloc(self, words: int) -> int:
         addr = self._heap[0]
+        limit = len(self.memory) - (1 << 16)
         self._heap[0] = addr + max(1, words)
-        if self._heap[0] >= len(self.memory) - (1 << 16):
-            raise VMError("heap exhausted")
+        if self._heap[0] >= limit:
+            raise ArenaExhausted("heap exhausted", requested=max(1, words),
+                                 free=max(0, limit - addr))
         return addr
 
     def load(self, addr: int) -> Number:

@@ -17,6 +17,7 @@ stitcher)::
     template:<function>:<region>  in-image templates (never executed)
     stitched:<function>:<region>  dynamically generated region code
     stitcher:<function>:<region>  the dynamic compiler's own work
+    fallback:<function>:<region>  static fallback tier (degraded entries)
     region:<function>:<region>    region body in static (baseline) mode
 
 Everything here is read-only over completed accounting: profiling a
@@ -30,7 +31,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 #: Owner-kind display order for profile reports.
 KIND_ORDER = ["fn", "setup", "dispatch", "stitched", "stitcher",
-              "region", "template", "other"]
+              "fallback", "region", "template", "other"]
 
 RegionKey = Tuple[str, int]
 
@@ -39,7 +40,8 @@ def parse_owner(owner: str) -> Tuple[str, Optional[RegionKey]]:
     """``"stitched:spmv:1"`` -> ``("stitched", ("spmv", 1))``."""
     parts = owner.split(":")
     if len(parts) == 3 and parts[0] in ("setup", "dispatch", "stitched",
-                                        "stitcher", "region", "template"):
+                                        "stitcher", "fallback", "region",
+                                        "template"):
         try:
             return parts[0], (parts[1], int(parts[2]))
         except ValueError:

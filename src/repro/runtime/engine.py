@@ -30,6 +30,8 @@ from ..codegen.lower import DataLayout, lower_module
 from ..codegen.objects import CompiledFunction, RegionCode
 from ..dynamic.splitter import RegionPlan, split_module
 from ..dynamic.stitcher import StitchReport, stitch_entry
+from ..errors import RegionNotFound, StitchBudgetExceeded, StitchError
+from ..faults import FaultPlan
 from ..frontend.parser import parse
 from ..frontend.typecheck import check
 from ..ir.builder import build_module
@@ -42,6 +44,8 @@ from ..machine.vm import VM, VMError
 from ..obs import trace as obs_trace
 from ..obs.metrics import registry as obs_metrics
 from ..opt.pipeline import OptOptions, OptStats, optimize
+from .fallback import FallbackCode, build_fallback
+from .guards import BreakerConfig, RegionBreaker, StitchBudget
 
 Number = Union[int, float]
 
@@ -57,6 +61,26 @@ class CacheHit(NamedTuple):
     func_name: str
     region_id: int
     key: Tuple[Number, ...]
+    entry: int
+
+
+class FallbackEvent(NamedTuple):
+    """A region entry served by the static fallback tier.
+
+    ``reason`` names the rung of the degradation ladder that was hit:
+    ``"fault"`` (an injected failure), ``"budget"`` (a resource guard
+    tripped), ``"error"`` (a genuine stitch/arena failure), or
+    ``"breaker"`` (the region's circuit breaker was open -- no stitch
+    was even attempted).  ``injected`` is True only for faults raised
+    by the :mod:`repro.faults` harness; the oracle uses it to prove
+    every injected fault is accounted for.
+    """
+
+    func_name: str
+    region_id: int
+    key: Tuple[Number, ...]
+    reason: str
+    injected: bool
     entry: int
 
 
@@ -82,6 +106,18 @@ class RunResult:
     #: compactions, invalidations, re-stitches, and the live code
     #: ranges (the only run-time ranges invariant checks may scan).
     cache_stats: Optional[CacheStats] = None
+    #: region entries served by the static fallback tier.
+    fallbacks: List[FallbackEvent] = field(default_factory=list)
+    #: installed fallback code ranges as (base, words, entry_pc) -- the
+    #: run-time ranges the oracle's reachability scan must also cover.
+    fallback_blocks: List[Tuple[int, int, int]] = field(
+        default_factory=list)
+    #: fault site -> injections during this run (empty without a plan).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: (func, region_id) -> circuit-breaker snapshot, for regions whose
+    #: breaker saw at least one failure.
+    breaker_stats: Dict[Tuple[str, int], Dict[str, int]] = field(
+        default_factory=dict)
 
     def owner_cycles(self, prefix: str) -> int:
         """Total cycles across owners starting with ``prefix``."""
@@ -117,7 +153,10 @@ class Program:
                  stitcher_costs: StitcherCosts,
                  opt_stats: Optional[Dict[str, OptStats]] = None,
                  register_actions: bool = False,
-                 cache_config: Optional[CacheConfig] = None):
+                 cache_config: Optional[CacheConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 stitch_budget: Optional[StitchBudget] = None,
+                 breaker_config: Optional[BreakerConfig] = None):
         self.compiled = compiled
         self.layout = layout
         self.mode = mode
@@ -128,6 +167,12 @@ class Program:
         #: default code-cache configuration for runs (a ``run`` call
         #: can override it per execution).
         self.cache_config = cache_config or CacheConfig()
+        #: default fault-injection plan (a ``run`` call can override).
+        self.fault_plan = fault_plan
+        #: per-stitch resource guard; None = unlimited.
+        self.stitch_budget = stitch_budget
+        #: circuit-breaker tuning (always on; a no-op without failures).
+        self.breaker_config = breaker_config or BreakerConfig()
         # Cached VM for repeated runs: building a multi-megaword memory
         # image and re-installing/re-resolving the code dominates the
         # host cost of short executions.  The cache holds the VM plus
@@ -149,7 +194,7 @@ class Program:
             for region in function.regions:
                 if function.name == func and region.region_id == region_id:
                     return sum(len(b.instrs) for b in region.blocks.values())
-        raise KeyError("no region %d in %s" % (region_id, func))
+        raise RegionNotFound("no region %d in %s" % (region_id, func))
 
     # -- execution ------------------------------------------------------------
 
@@ -180,14 +225,19 @@ class Program:
             max_cycles: int = 4_000_000_000,
             memory_words: int = 1 << 22,
             dispatch: str = "threaded",
-            cache: Optional[CacheConfig] = None) -> RunResult:
+            cache: Optional[CacheConfig] = None,
+            fault_plan: Optional[FaultPlan] = None) -> RunResult:
         """Run ``func(*args)``; ``dispatch`` picks the VM execution
         engine ("threaded" predecoded fast path, or the retained
         "naive" decode loop -- equivalent by construction and by
         test); ``cache`` overrides the program's code-cache
-        configuration for this execution."""
+        configuration for this execution, ``fault_plan`` the fault
+        schedule (default: the program's own plan, usually None)."""
         vm = self._acquire_vm(memory_words, max_cycles)
-        runtime = _RegionRuntime(self, vm, cache or self.cache_config)
+        faults = fault_plan if fault_plan is not None else self.fault_plan
+        fault_baseline = dict(faults.counts) if faults is not None else {}
+        runtime = _RegionRuntime(self, vm, cache or self.cache_config,
+                                 faults=faults)
         vm.rt_handlers["region_lookup"] = runtime.lookup
         vm.rt_handlers["region_stitch"] = runtime.stitch
         entry_fn = self.compiled.get(func)
@@ -208,6 +258,12 @@ class Program:
         if obs_metrics._enabled:
             obs_metrics.counter("vm.runs").inc()
             obs_metrics.counter("vm.cycles").inc(vm.cycles)
+        fault_counts: Dict[str, int] = {}
+        if faults is not None:
+            for site, count in faults.counts.items():
+                delta = count - fault_baseline.get(site, 0)
+                if delta:
+                    fault_counts[site] = delta
         return RunResult(
             value=int_result,
             float_value=float_result,
@@ -220,6 +276,15 @@ class Program:
             region_entries=dict(runtime.entries),
             cache_hits=runtime.cache_hits,
             cache_stats=runtime.cache.snapshot(),
+            fallbacks=list(runtime.fallbacks),
+            fallback_blocks=[(fb.base, fb.words, fb.entry)
+                             for fb in runtime.fallback_codes.values()],
+            fault_counts=fault_counts,
+            breaker_stats={
+                region: breaker.snapshot()
+                for region, breaker in runtime.breakers.items()
+                if breaker.trips or breaker.resets or breaker.consecutive
+            },
         )
 
 
@@ -228,15 +293,23 @@ class _RegionRuntime:
     execution, backed by the :class:`~repro.codecache.CodeCache`."""
 
     def __init__(self, program: Program, vm: VM,
-                 cache_config: Optional[CacheConfig] = None):
+                 cache_config: Optional[CacheConfig] = None,
+                 faults: Optional[FaultPlan] = None):
         self.program = program
         self.vm = vm
+        self.faults = faults
         #: the code cache: keyed versions, eviction, compaction.
-        self.cache: CodeCache = CodeCache(vm, cache_config)
+        self.cache: CodeCache = CodeCache(vm, cache_config, faults=faults)
         self.reports: List[StitchReport] = []
         #: (func, region_id) -> entries (every lookup, hit or miss).
         self.entries: Dict[Tuple[str, int], int] = {}
         self.cache_hits: List[CacheHit] = []
+        #: region entries served by the static fallback tier.
+        self.fallbacks: List[FallbackEvent] = []
+        #: lazily built generic code per region (first failure only).
+        self.fallback_codes: Dict[Tuple[str, int], FallbackCode] = {}
+        #: per-region circuit breakers (created on first stitch).
+        self.breakers: Dict[Tuple[str, int], RegionBreaker] = {}
         self._regions: Dict[Tuple[str, int], RegionCode] = {}
         for function in program.compiled.values():
             for region in function.regions:
@@ -264,13 +337,43 @@ class _RegionRuntime:
         region = self._regions[(func, region_id)]
         table_addr = int(vm.regs[ARG_BASE])
         key = region_key(vm.regs, region.key_count, stitch_args=True)
+        breaker = self.breakers.get((func, region_id))
+        if breaker is None:
+            breaker = RegionBreaker(self.program.breaker_config,
+                                    func, region_id)
+            self.breakers[(func, region_id)] = breaker
+        if not breaker.should_attempt():
+            # Circuit open: the region is pinned to static execution
+            # until the cooldown (counted in region entries) expires.
+            breaker.on_entry_while_open()
+            return self._fallback(func, region_id, key, table_addr,
+                                  reason="breaker", injected=False)
         host_start = time.perf_counter()
-        entry = stitch_entry(vm, self.program.compiled[func], region,
-                             table_addr, self.program.stitcher_costs,
-                             key=key,
-                             register_actions=self.program.register_actions,
-                             functions=self.program.compiled)
-        self.cache.insert(entry)
+        try:
+            entry = stitch_entry(
+                vm, self.program.compiled[func], region,
+                table_addr, self.program.stitcher_costs, key=key,
+                register_actions=self.program.register_actions,
+                functions=self.program.compiled,
+                faults=self.faults, budget=self.program.stitch_budget)
+            self.cache.insert(entry)
+        except (StitchError, VMError) as exc:
+            # The degradation ladder: any failure of run-time code
+            # generation -- a stitch error, a tripped budget, arena
+            # exhaustion, an injected fault -- transfers this entry
+            # (and the region, once the breaker trips) to the static
+            # fallback instead of killing the run.
+            breaker.on_failure()
+            injected = bool(getattr(exc, "injected", False))
+            if isinstance(exc, StitchBudgetExceeded):
+                reason = "budget"
+            elif injected:
+                reason = "fault"
+            else:
+                reason = "error"
+            return self._fallback(func, region_id, key, table_addr,
+                                  reason=reason, injected=injected)
+        breaker.on_success()
         report = entry.report
         self.reports.append(report)
         if obs_metrics._enabled:
@@ -287,6 +390,35 @@ class _RegionRuntime:
         vm.regs[CPOOL] = report.pool_base
         return report.entry
 
+    def _fallback(self, func: str, region_id: int,
+                  key: Tuple[Number, ...], table_addr: int,
+                  reason: str, injected: bool) -> int:
+        """Transfer this region entry to the static fallback tier:
+        build (once) and target the region's generic code, pointing
+        its table cell at the freshly filled constants table."""
+        fb = self.fallback_codes.get((func, region_id))
+        if fb is None:
+            fb = build_fallback(self.vm, self.program.compiled[func],
+                                self._regions[(func, region_id)],
+                                self.program.compiled)
+            self.fallback_codes[(func, region_id)] = fb
+            # The block lives inside the code arena's address range but
+            # must survive compaction and stay out of cache capacity.
+            self.cache.reserve(fb.base, fb.words)
+        self.vm.store(fb.table_cell, table_addr)
+        self.fallbacks.append(
+            FallbackEvent(func, region_id, key, reason, injected,
+                          fb.entry))
+        if obs_metrics._enabled:
+            obs_metrics.counter("fallback.count").inc()
+            obs_metrics.counter("fallback.%s" % reason).inc()
+        if obs_trace._current is not None:
+            obs_trace.instant("region.fallback", "runtime",
+                              region="%s:%d" % (func, region_id),
+                              reason=reason, injected=injected,
+                              entry=fb.entry)
+        return fb.entry
+
 
 def compile_program(source: str, mode: str = "dynamic",
                     opt_options: Optional[OptOptions] = None,
@@ -294,7 +426,11 @@ def compile_program(source: str, mode: str = "dynamic",
                     stitcher_costs: Optional[StitcherCosts] = None,
                     register_actions: bool = False,
                     module_name: str = "program",
-                    cache_config: Optional[CacheConfig] = None) -> Program:
+                    cache_config: Optional[CacheConfig] = None,
+                    fault_plan: Optional[FaultPlan] = None,
+                    stitch_budget: Optional[StitchBudget] = None,
+                    breaker_config: Optional[BreakerConfig] = None
+                    ) -> Program:
     """Compile MiniC source through the full static pipeline.
 
     ``mode`` is ``"dynamic"`` (regions split + stitched at run time) or
@@ -303,6 +439,8 @@ def compile_program(source: str, mode: str = "dynamic",
     promotes constant-index frame-array elements to unused registers.
     ``cache_config`` sets the default code-cache policy/capacity for
     the program's runs (default: unbounded, the historical behavior).
+    ``fault_plan`` / ``stitch_budget`` / ``breaker_config`` tune the
+    graceful-degradation tier (see ``docs/ROBUSTNESS.md``).
     """
     if mode not in ("dynamic", "static"):
         raise ValueError("mode must be 'dynamic' or 'static'")
@@ -321,7 +459,10 @@ def compile_program(source: str, mode: str = "dynamic",
                              use_reachability=use_reachability,
                              stitcher_costs=stitcher_costs,
                              register_actions=register_actions,
-                             cache_config=cache_config)
+                             cache_config=cache_config,
+                             fault_plan=fault_plan,
+                             stitch_budget=stitch_budget,
+                             breaker_config=breaker_config)
 
 
 def _refresh_plan_membership(func, plans: List[RegionPlan],
@@ -358,7 +499,10 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                       use_reachability: bool = True,
                       stitcher_costs: Optional[StitcherCosts] = None,
                       register_actions: bool = False,
-                      cache_config: Optional[CacheConfig] = None
+                      cache_config: Optional[CacheConfig] = None,
+                      fault_plan: Optional[FaultPlan] = None,
+                      stitch_budget: Optional[StitchBudget] = None,
+                      breaker_config: Optional[BreakerConfig] = None
                       ) -> Program:
     """Compile an already-built IR module (for IR-level tests)."""
     opt_options = opt_options or OptOptions()
@@ -394,4 +538,7 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
     return Program(compiled, layout, mode, plans,
                    stitcher_costs or StitcherCosts(), stats,
                    register_actions=register_actions,
-                   cache_config=cache_config)
+                   cache_config=cache_config,
+                   fault_plan=fault_plan,
+                   stitch_budget=stitch_budget,
+                   breaker_config=breaker_config)

@@ -1,0 +1,118 @@
+"""Resource guards for the dynamic-compilation tier.
+
+Two guard families keep a misbehaving region from taking the process
+down (see ``docs/ROBUSTNESS.md``):
+
+* :class:`StitchBudget` -- per-stitch ceilings on emitted words,
+  unrolled loop iterations and simulated stitch cycles.  The stitcher
+  checks them as it works and aborts with
+  :class:`repro.errors.StitchBudgetExceeded`; the engine turns the
+  abort into a fallback transfer, charging the partially spent
+  stitcher cycles so break-even economics stay honest.
+
+* :class:`RegionBreaker` -- a per-region circuit breaker.  After
+  ``threshold`` consecutive stitch failures the region is pinned to
+  the static fallback for ``backoff`` region entries; each re-trip
+  while the streak is unbroken doubles the cooldown (exponential
+  backoff measured in region-entry counts, the only clock the
+  simulated runtime has).  One success fully resets the breaker.
+
+Both are pure host-side bookkeeping: with no failures they never
+change a simulated cycle or address, so faults-disabled runs stay
+bit-identical to the seed goldens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs import trace as obs_trace
+from ..obs.metrics import registry as obs_metrics
+
+
+@dataclass(frozen=True)
+class StitchBudget:
+    """Per-stitch resource ceilings; ``None`` disables a knob."""
+
+    #: max code words a single stitch may emit.
+    max_words: Optional[int] = None
+    #: max loop-record unrolled iterations a single stitch may follow.
+    max_unroll: Optional[int] = None
+    #: max simulated stitcher cycles a single stitch may spend.
+    max_cycles: Optional[int] = None
+
+    def enabled(self) -> bool:
+        return (self.max_words is not None or self.max_unroll is not None
+                or self.max_cycles is not None)
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker tuning shared by every region of a program."""
+
+    #: consecutive stitch failures before the region is pinned static.
+    threshold: int = 3
+    #: base cooldown, in region entries; doubles per re-trip.
+    backoff: int = 8
+
+
+class RegionBreaker:
+    """Per-region failure streak + exponential-backoff cooldown.
+
+    States: *closed* (stitching allowed), *open* (``cooldown`` > 0,
+    entries served by fallback), *half-open* (cooldown expired but the
+    trip streak is unbroken: one probe stitch is allowed, and a single
+    failure re-trips at double the previous cooldown).
+    """
+
+    def __init__(self, config: BreakerConfig, func: str, region_id: int):
+        self.config = config
+        self.func = func
+        self.region_id = region_id
+        #: consecutive failures since the last success.
+        self.consecutive = 0
+        #: region entries left before stitching may be retried.
+        self.cooldown = 0
+        #: cumulative trips over the program run.
+        self.trips = 0
+        #: trips in the current unbroken failure streak (drives backoff).
+        self._streak_trips = 0
+        #: times a success closed a previously tripped breaker.
+        self.resets = 0
+
+    def should_attempt(self) -> bool:
+        return self.cooldown == 0
+
+    def on_entry_while_open(self) -> None:
+        """A region entry served by fallback while the breaker is open."""
+        if self.cooldown > 0:
+            self.cooldown -= 1
+
+    def on_failure(self) -> None:
+        self.consecutive += 1
+        half_open_refail = self._streak_trips > 0
+        if self.consecutive >= self.config.threshold or half_open_refail:
+            self._streak_trips += 1
+            self.trips += 1
+            self.cooldown = self.config.backoff * (1 << (self._streak_trips - 1))
+            self.consecutive = 0
+            if obs_metrics._enabled:
+                obs_metrics.counter("breaker.trips").inc()
+            obs_trace.instant("breaker.trip", "robustness", func=self.func,
+                              region=self.region_id, cooldown=self.cooldown,
+                              streak=self._streak_trips)
+
+    def on_success(self) -> None:
+        self.consecutive = 0
+        if self._streak_trips:
+            self._streak_trips = 0
+            self.resets += 1
+            if obs_metrics._enabled:
+                obs_metrics.counter("breaker.resets").inc()
+            obs_trace.instant("breaker.reset", "robustness", func=self.func,
+                              region=self.region_id)
+
+    def snapshot(self) -> dict:
+        return {"trips": self.trips, "resets": self.resets,
+                "cooldown": self.cooldown, "consecutive": self.consecutive}

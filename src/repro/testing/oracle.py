@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..codecache import CacheConfig
+from ..faults import FaultPlan
 from ..frontend.errors import AnnotationError, CompileError
 from ..frontend.parser import parse
 from ..frontend.typecheck import check
@@ -162,6 +163,7 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             check_invariants: bool = True,
             max_cycles: int = 200_000_000,
             cache_config: Optional[CacheConfig] = None,
+            faults: Optional[str] = None,
             ) -> Tuple[OracleOutcome, Optional[Program], list]:
     try:
         program = compile_program(
@@ -180,8 +182,13 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
                 None, [])
     result = None
     try:
-        for _ in range(max(1, runs)):
-            result = program.run("main", list(args), max_cycles=max_cycles)
+        for run_index in range(max(1, runs)):
+            # A fresh deterministic plan per run: repeated runs on the
+            # cached VM exercise different fault schedules while the
+            # whole leg stays reproducible from (spec, run index).
+            plan = FaultPlan.parse(faults, seed=run_index)
+            result = program.run("main", list(args), max_cycles=max_cycles,
+                                 fault_plan=plan)
     except VMError as exc:
         return OracleOutcome(leg, "trap", error=str(exc)), program, []
     except AnnotationError as exc:
@@ -251,22 +258,35 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
     # scan narrows to the cache's *live* ranges, seeded from the live
     # entry points.
     cache_stats = getattr(result, "cache_stats", None)
-    if cache_stats is not None and cache_stats.bounded:
-        live_pcs = [pc for base, words in cache_stats.live_blocks
+    fallback_blocks = getattr(result, "fallback_blocks", []) or []
+    fallback_pcs = [pc for base, words, _ in fallback_blocks
                     for pc in range(base, base + words)]
+    fallback_entries = [entry for _, _, entry in fallback_blocks]
+    # Checksum invalidation frees blocks (trapping filler) even under
+    # the unbounded policy, so any run with checksum failures must use
+    # the live-ranges scan too.
+    narrowed = cache_stats is not None and (
+        cache_stats.bounded
+        or getattr(cache_stats, "checksum_failures", 0) > 0)
+    if narrowed:
+        live_pcs = [pc for base, words in cache_stats.live_blocks
+                    for pc in range(base, base + words)] + fallback_pcs
         if live_pcs:
             reachable = _reachable_stitched(
-                code, static_end, list(cache_stats.live_entry_pcs))
+                code, static_end,
+                list(cache_stats.live_entry_pcs) + fallback_entries)
             dead = [pc for pc in live_pcs if pc not in reachable]
             if dead:
                 failures.append(
                     "stitcher emitted unreachable (dead-branch) code at "
                     "pcs %s" % dead[:8])
-    elif len(code) > static_end and result.stitch_reports:
+    elif len(code) > static_end and (result.stitch_reports
+                                     or fallback_entries):
         reachable = _reachable_stitched(code, static_end,
                                         [r.entry for r in
                                          result.stitch_reports
-                                         if r.entry >= static_end])
+                                         if r.entry >= static_end]
+                                        + fallback_entries)
         dead = [pc for pc in range(static_end, len(code))
                 if pc not in reachable]
         if dead:
@@ -280,10 +300,12 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
         failures.append(
             "re-stitches not word-identical to original stitches: %s"
             % ", ".join(cache_stats.restitch_mismatches[:4]))
-    # Region-entry accounting: every lookup is either a cache hit or a
-    # stitch, so per region entries == hits + stitches (the cache-hit
-    # path records CacheHit events precisely so this can be checked).
+    # Region-entry accounting: every lookup is a cache hit, a stitch,
+    # or a fallback transfer, so per region entries == hits + stitches
+    # + fallbacks (the runtime records every event precisely so this
+    # can be checked).
     entries = getattr(result, "region_entries", None)
+    fallback_events = getattr(result, "fallbacks", []) or []
     if entries is not None:
         stitches: Dict[Tuple[str, int], int] = {}
         for report in result.stitch_reports:
@@ -293,14 +315,42 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
         for hit in getattr(result, "cache_hits", []) or []:
             key = (hit.func_name, hit.region_id)
             hits[key] = hits.get(key, 0) + 1
-        for key in set(entries) | set(stitches) | set(hits):
+        falls: Dict[Tuple[str, int], int] = {}
+        for event in fallback_events:
+            key = (event.func_name, event.region_id)
+            falls[key] = falls.get(key, 0) + 1
+        for key in set(entries) | set(stitches) | set(hits) | set(falls):
             observed = entries.get(key, 0)
-            expected = hits.get(key, 0) + stitches.get(key, 0)
+            expected = (hits.get(key, 0) + stitches.get(key, 0)
+                        + falls.get(key, 0))
             if observed != expected:
                 failures.append(
                     "region %s:%d: %d entries != %d cache hits + %d "
-                    "stitches" % (key[0], key[1], observed,
-                                  hits.get(key, 0), stitches.get(key, 0)))
+                    "stitches + %d fallbacks"
+                    % (key[0], key[1], observed, hits.get(key, 0),
+                       stitches.get(key, 0), falls.get(key, 0)))
+    # Fault accounting: every injected fault must be matched by an
+    # observed recovery.  Raising sites produce injected fallback
+    # events; the checksum site produces a verification failure (and a
+    # re-stitch) instead.
+    fault_counts = getattr(result, "fault_counts", None)
+    if fault_counts:
+        raised = sum(count for site, count in fault_counts.items()
+                     if site != "cache.checksum")
+        injected_falls = sum(1 for event in fallback_events
+                             if event.injected)
+        if raised != injected_falls:
+            failures.append(
+                "fault accounting: %d injected raising faults != %d "
+                "injected fallback events" % (raised, injected_falls))
+        checksum = fault_counts.get("cache.checksum", 0)
+        observed_checksum = getattr(cache_stats, "checksum_failures", 0) \
+            if cache_stats is not None else 0
+        if checksum != observed_checksum:
+            failures.append(
+                "fault accounting: %d injected checksum faults != %d "
+                "observed checksum failures"
+                % (checksum, observed_checksum))
     return failures
 
 
@@ -371,7 +421,8 @@ def run_oracle(source: str, args: List[int],
                register_actions_leg: bool = True,
                check_invariants: bool = True,
                max_cycles: int = 200_000_000,
-               cache_config: Optional[CacheConfig] = None) -> OracleReport:
+               cache_config: Optional[CacheConfig] = None,
+               faults: Optional[str] = None) -> OracleReport:
     """Run all legs on ``main(args...)`` and compare.
 
     The interpreter is the semantic baseline; static and dynamic (and
@@ -381,7 +432,10 @@ def run_oracle(source: str, args: List[int],
     applies to the dynamic legs: a bounded cache must never change
     observables, only stitch counts -- so the comparison against the
     interpreter and static legs doubles as an eviction-correctness
-    proof.
+    proof.  ``faults`` (a :meth:`FaultPlan.parse` spec) likewise
+    applies only to the dynamic legs: under injected faults the engine
+    must degrade to the static fallback tier, never to a wrong answer,
+    so the same comparisons double as a degradation-correctness proof.
     """
     divergences: List[Divergence] = []
     interp = _interp_leg(source, args)
@@ -392,7 +446,7 @@ def run_oracle(source: str, args: List[int],
         "dynamic", source, args, "dynamic", opt_options=opt_options,
         use_reachability=use_reachability, runs=2,
         check_invariants=check_invariants, max_cycles=max_cycles,
-        cache_config=cache_config)
+        cache_config=cache_config, faults=faults)
     outcomes = {"interp": interp, "static": static, "dynamic": dynamic}
 
     _compare(interp, static, divergences)
@@ -409,7 +463,8 @@ def run_oracle(source: str, args: List[int],
             "dynamic+regactions", source, args, "dynamic",
             opt_options=opt_options, use_reachability=use_reachability,
             register_actions=True, check_invariants=check_invariants,
-            max_cycles=max_cycles, cache_config=cache_config)
+            max_cycles=max_cycles, cache_config=cache_config,
+            faults=faults)
         outcomes["dynamic+regactions"] = actions
         _compare(interp, actions, divergences)
         for failure in action_invariants:
