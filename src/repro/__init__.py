@@ -45,6 +45,7 @@ from .runtime.engine import (
 )
 from .runtime.guards import BreakerConfig, StitchBudget
 from .runtime.interp import Interpreter, InterpError, run_source
+from .runtime.tiering import ColdEntry, TierPolicy
 from .dynamic.stitcher import StitchError, StitchReport
 
 __version__ = "1.0.0"
@@ -58,6 +59,7 @@ __all__ = [
     "CacheStats",
     "CachedEntry",
     "CodeCache",
+    "ColdEntry",
     "CompileError",
     "FAULT_SITES",
     "FUSED_STITCHER",
@@ -76,6 +78,7 @@ __all__ = [
     "StitchError",
     "StitchReport",
     "StitcherCosts",
+    "TierPolicy",
     "TypeError_",
     "VM",
     "VMError",

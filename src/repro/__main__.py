@@ -12,6 +12,7 @@ Usage::
     python -m repro program.c --register-actions
     python -m repro program.c --fused-stitcher
     python -m repro program.c --faults all:0.1       # chaos run
+    python -m repro program.c --tier breakeven       # adaptive tiering
 """
 
 from __future__ import annotations
@@ -65,6 +66,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "optionally @SEED; e.g. all:0.1@7) -- "
                              "failed stitches degrade to the static "
                              "fallback tier")
+    parser.add_argument("--tier", metavar="SPEC", default="eager",
+                        help="adaptive tiering policy: eager (default, "
+                             "stitch on first entry), threshold:N "
+                             "(promote a region key at its Nth entry), "
+                             "or breakeven[:HORIZON] (promote when the "
+                             "measured profile predicts the stitch "
+                             "amortizes); options spec=K, versions=V, "
+                             "speedup=F (see docs/TIERING.md)")
     parser.add_argument("--stats", action="store_true",
                         help="print the per-component cycle breakdown "
                              "and stitch reports")
@@ -150,6 +159,12 @@ def _run(args, source: str) -> int:
     except ValueError as exc:
         print("error: --faults %s" % exc, file=sys.stderr)
         return 2
+    from .runtime.tiering import TierPolicy
+    try:
+        tier = TierPolicy.parse(args.tier)
+    except ValueError as exc:
+        print("error: --tier %s" % exc, file=sys.stderr)
+        return 2
     try:
         program = compile_program(
             source,
@@ -159,6 +174,7 @@ def _run(args, source: str) -> int:
             register_actions=args.register_actions,
             cache_config=cache_config,
             fault_plan=fault_plan,
+            tier=tier,
         )
     except CompileError as exc:
         print("compile error: %s" % exc, file=sys.stderr)
@@ -199,6 +215,26 @@ def _run(args, source: str) -> int:
               % (stats.policy, stats.hits, stats.misses, stats.evictions,
                  stats.compactions, stats.invalidations, stats.restitches,
                  stats.live_entries, stats.live_code_words))
+
+    if result.tier_stats:
+        cold = len(result.cold_entries)
+        promotions = sum(s["promotions"]
+                         for s in result.tier_stats.values())
+        speculative = sum(s["speculative_promotions"]
+                          for s in result.tier_stats.values())
+        demotions = sum(s["demotions"]
+                        for s in result.tier_stats.values())
+        print("tier[%s]: %d cold entries, %d promotions "
+              "(%d speculative), %d demotions"
+              % (tier.describe(), cold, promotions, speculative,
+                 demotions))
+        for key, snap in sorted(result.tier_stats.items()):
+            predicted = snap.get("predicted_breakeven")
+            print("  %s:%d: %d keys, %d promoted, %d cold%s"
+                  % (key[0], key[1], snap["keys"], snap["keys_promoted"],
+                     snap["cold_entries"],
+                     (", predicted breakeven %d" % predicted)
+                     if predicted is not None else ""))
 
     if result.fallbacks or result.fault_counts:
         by_reason = {}

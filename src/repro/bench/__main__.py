@@ -115,10 +115,14 @@ def main(argv: List[str] = None) -> int:
     print(format_table3(rows))
 
     if not args.no_cache_pressure and not args.only:
-        from .cachepressure import compile_pressure_program, format_sweep, sweep
+        from .cachepressure import (
+            DEFAULT_SEED, compile_pressure_program, format_sweep, sweep,
+        )
         started = time.time()
+        pressure_seed = DEFAULT_SEED if args.seed is None else args.seed
         pressure_rows = sweep(executions=max(1, int(120 * args.scale)),
-                              program=compile_pressure_program())
+                              program=compile_pressure_program(),
+                              seed=pressure_seed)
         print()
         print(format_sweep(pressure_rows))
         print("measured %-30s %-32s (%.1fs)"

@@ -39,6 +39,9 @@ from ..runtime.engine import Program, compile_program
 #: uniform over the full cardinality): a pure cyclic sequence is LRU's
 #: pathological worst case (0% hits at any capacity below the
 #: cardinality), which would flatten the sweep's hit-rate gradient.
+#: The generator's PRNG state starts at ``seed`` so sweeps (and the
+#: tiering bench) can draw deterministic, *distinct* key streams;
+#: :data:`DEFAULT_SEED` reproduces the historical stream exactly.
 SOURCE = """
 int region(int k, int v) {
     int t = v;
@@ -49,8 +52,8 @@ int region(int k, int v) {
     }
 }
 
-int main(int n, int card) {
-    int r = 7;
+int main(int n, int card, int seed) {
+    int r = seed;
     int k = 0;
     int t = 0;
     int i;
@@ -67,15 +70,21 @@ int main(int n, int card) {
 }
 """
 
+#: The historical hardcoded PRNG start (``int r = 7``).
+DEFAULT_SEED = 7
+
 
 def compile_pressure_program() -> Program:
     return compile_program(SOURCE, mode="dynamic")
 
 
 def run_cell(program: Program, executions: int, cardinality: int,
-             config: CacheConfig) -> Dict[str, object]:
-    """One sweep cell: run the key sequence under one cache config."""
-    result = program.run("main", [executions, cardinality], cache=config)
+             config: CacheConfig, seed: int = DEFAULT_SEED,
+             tier=None) -> Dict[str, object]:
+    """One sweep cell: run the key sequence under one cache config
+    (and optionally one tiering policy)."""
+    result = program.run("main", [executions, cardinality, seed],
+                         cache=config, tier=tier)
     stats = result.cache_stats
     seen: set = set()
     restitch_cycles = 0
@@ -105,9 +114,12 @@ def sweep(executions: int = 200,
           cardinalities: tuple = (4, 8, 16),
           capacities: tuple = (None, 8, 4, 2),
           policy: str = "lru",
-          program: Optional[Program] = None) -> List[Dict[str, object]]:
+          program: Optional[Program] = None,
+          seed: int = DEFAULT_SEED) -> List[Dict[str, object]]:
     """The full sweep; ``None`` capacity means the unbounded baseline.
-    Every bounded cell is checked bit-identical to its baseline."""
+    Every bounded cell is checked bit-identical to its baseline.
+    ``seed`` starts the skewed-key generator (default: the historical
+    stream)."""
     program = program or compile_pressure_program()
     rows: List[Dict[str, object]] = []
     baselines: Dict[int, object] = {}
@@ -116,7 +128,8 @@ def sweep(executions: int = 200,
             config = (CacheConfig() if capacity is None
                       else CacheConfig(policy=policy,
                                        max_entries=capacity))
-            row = run_cell(program, executions, cardinality, config)
+            row = run_cell(program, executions, cardinality, config,
+                           seed=seed)
             if capacity is None:
                 baselines[cardinality] = row["value"]
             elif row["value"] != baselines.get(cardinality):
@@ -163,6 +176,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="max live entries (default 2)")
     parser.add_argument("--words", type=int, default=None,
                         help="max live code words (optional)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="skewed-key generator seed (default %d, "
+                             "the historical stream)" % DEFAULT_SEED)
     parser.add_argument("--sweep", action="store_true",
                         help="run the full cardinality x capacity sweep "
                              "instead of one cell")
@@ -181,17 +197,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         program = compile_pressure_program()
         if args.sweep:
             rows = sweep(executions=args.executions, policy=args.policy,
-                         program=program)
+                         program=program, seed=args.seed)
             print(format_sweep(rows))
             evictions = sum(int(r["evictions"]) for r in rows)
             compactions = sum(int(r["compactions"]) for r in rows)
         else:
             baseline = run_cell(program, args.executions,
-                                args.cardinality, CacheConfig())
+                                args.cardinality, CacheConfig(),
+                                seed=args.seed)
             cell = run_cell(program, args.executions, args.cardinality,
                             CacheConfig(policy=args.policy,
                                         max_entries=args.capacity,
-                                        max_words=args.words))
+                                        max_words=args.words),
+                            seed=args.seed)
             if cell["value"] != baseline["value"]:
                 print("FAIL: bounded run changed the program result: "
                       "%r != %r" % (cell["value"], baseline["value"]),

@@ -77,20 +77,37 @@ def table3_dict(rows: List[BenchmarkMeasurement]) -> Dict[str, Dict[str, bool]]:
 
 def format_breakeven(rows) -> str:
     """Render per-region break-even rows (:mod:`repro.obs.breakeven`)
-    as the paper's Table 2, one line per dynamic region."""
+    as the paper's Table 2, one line per dynamic region.
+
+    When any row carries tiering data (an adaptive dynamic run), two
+    extra columns compare the tier controller's *predicted* break-even
+    point against the measured one, plus the cold-entry count -- the
+    predicted-vs-actual amortization check.  Eager reports render
+    exactly as before.
+    """
+    tiered = any(getattr(row, "predicted_breakeven", None) is not None
+                 or getattr(row, "cold_entries", 0) for row in rows)
     header = ("%-22s %8s %8s %8s %9s %9s %9s %10s %9s"
               % ("region", "execs", "stitches", "hits", "stat/ex",
                  "dyn/ex", "speedup", "overhead", "breakeven"))
+    if tiered:
+        header += " %9s %6s" % ("predicted", "cold")
     lines = [header, "-" * len(header)]
     for row in rows:
         breakeven = row.breakeven_runs
-        lines.append(
+        line = (
             "%-22s %8d %8d %8d %9.1f %9.1f %8.2fx %10d %9s"
             % ("%s:%d" % (row.func_name, row.region_id),
                row.executions, row.stitches, row.cache_hits,
                row.static_per_exec, row.dynamic_per_exec, row.speedup,
                row.overhead_cycles,
                str(breakeven) if breakeven is not None else "never"))
+        if tiered:
+            predicted = getattr(row, "predicted_breakeven", None)
+            line += " %9s %6d" % (
+                str(predicted) if predicted is not None else "-",
+                getattr(row, "cold_entries", 0))
+        lines.append(line)
         lines.append(
             "%-22s %8s %8s %8s   (%d instrs stitched, %.1f overhead "
             "cycles/instr)"

@@ -97,6 +97,11 @@ class CachedEntry:
     pool_words: int = 1
     #: policy bookkeeping: cache tick of the last hit or insert.
     last_use: int = 0
+    #: adaptive-tiering hotness: the key's live entry count, kept fresh
+    #: by the tier controller on every hit.  Non-tiered runs leave it
+    #: at 0, which makes hotness-weighted eviction collapse to the
+    #: historical cost-aware score.
+    hotness: int = 0
     #: integrity checksum over the canonical image, stamped at install
     #: and verified on every cache hit (0 = not yet stamped).
     checksum: int = 0

@@ -118,6 +118,13 @@ class CostAwarePolicy(CachePolicy):
     re-stitch would cost again) scaled down by how long it has sat
     idle.  Evicting the lowest ``stitch_cycles x recency`` first keeps
     expensive, hot entries resident.
+
+    Adaptive tiering feeds hotness in: the tier controller keeps each
+    entry's ``hotness`` at its key's live entry count, and a hot
+    entry's retention value scales up accordingly -- evicting it would
+    forfeit more future hits than evicting an equally expensive cold
+    one.  ``hotness`` stays 0 in non-tiered runs, so the score (and
+    hence eviction order) is unchanged there.
     """
 
     name = "cost-aware"
@@ -126,7 +133,8 @@ class CostAwarePolicy(CachePolicy):
                tick: int) -> CachedEntry:
         def score(e: CachedEntry):
             age = 1 + tick - e.last_use
-            return (e.report.cycles / age, e.last_use, e.base)
+            return (e.report.cycles * (1 + e.hotness) / age,
+                    e.last_use, e.base)
         return min(candidates, key=score)
 
 

@@ -26,11 +26,18 @@ Fault-site catalog (see ``docs/ROBUSTNESS.md``):
 ``arena.code``        code arena placement at install
 ``cache.compact``     the compaction pass
 ``cache.checksum``    cached-entry checksum verification on a hit
+``tier.flip``         an adaptive tiering promotion decision
 ====================  ====================================================
 
-All sites except ``cache.checksum`` raise; ``cache.checksum`` instead
-makes the verification *report a mismatch*, exercising the
-invalidate-and-restitch recovery path.
+All sites except ``cache.checksum`` and ``tier.flip`` raise;
+``cache.checksum`` instead makes the verification *report a
+mismatch*, exercising the invalidate-and-restitch recovery path, and
+``tier.flip`` *inverts* a tiering promotion decision (promote what
+would stay cold, or vice versa) -- an economically wrong but
+semantically neutral perturbation that the oracle uses to prove
+tiered execution is correct under any promotion schedule.
+``tier.flip`` is consulted only by adaptive runs (``--tier`` other
+than eager), so configuring it never perturbs eager fault schedules.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ FAULT_SITES = (
     "arena.code",
     "cache.compact",
     "cache.checksum",
+    "tier.flip",
 )
 
 

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 from .codecache import CacheConfig
 from .faults import FaultPlan
 from .obs import trace as obs_trace
+from .runtime.tiering import TierPolicy
 from .testing.ablate import (
     format_reproducer, localize_divergence, shrink_program,
 )
@@ -53,10 +54,33 @@ def random_cache_config(seed: int, iteration: int) -> CacheConfig:
                        max_words=max_words)
 
 
+def random_tier_policy(seed: int, iteration: int) -> Optional[str]:
+    """A deterministic tiering spec for one fuzz iteration (or None for
+    the default eager behavior), so the cold/warm/hot state space --
+    threshold promotion, break-even prediction, speculative marks --
+    gets exercised alongside the historical stitch-on-first-entry
+    path.  The draw is independent of :func:`random_cache_config` so
+    tier x cache combinations cover the full cross product over a
+    fuzz run."""
+    rng = random.Random(seed * 104729 + iteration * 31 + 17)
+    roll = rng.random()
+    if roll < 0.40:
+        return None  # eager: the historical path
+    if roll < 0.70:
+        spec = "threshold:%d" % rng.randint(1, 4)
+    else:
+        spec = "breakeven:%d" % rng.choice([8, 32, 128, 256])
+    if rng.random() < 0.35:
+        spec += ",spec=%d,versions=%d" % (rng.randint(1, 2),
+                                          rng.randint(1, 4))
+    return spec
+
+
 def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
              max_cycles: int = 200_000_000,
              cache_config: Optional[CacheConfig] = None,
-             faults: Optional[str] = None):
+             faults: Optional[str] = None,
+             tier: Optional[str] = None):
     """Generate and check one program.
 
     Returns ``(program, bad_report, annotation_rejected)``:
@@ -65,8 +89,9 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     ``None`` when every argument agreed.  ``annotation_rejected`` is
     True when the dynamic path legitimately refused the region shape
     for some argument (the splitter's AnnotationError).
-    ``cache_config`` and ``faults`` (a fault-injection spec, see
-    :meth:`FaultPlan.parse`) apply to the oracle's dynamic legs.
+    ``cache_config``, ``faults`` (a fault-injection spec, see
+    :meth:`FaultPlan.parse`) and ``tier`` (a tiering spec, see
+    :meth:`TierPolicy.parse`) apply to the oracle's dynamic legs.
     """
     program = generate_program(seed * 1_000_003 + iteration,
                                max_stmts=max_stmts)
@@ -74,7 +99,8 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     rejected = False
     for arg in program.args:
         report = run_oracle(source, [arg], max_cycles=max_cycles,
-                            cache_config=cache_config, faults=faults)
+                            cache_config=cache_config, faults=faults,
+                            tier=tier)
         rejected = rejected or report.annotation_reject
         if report.compile_error:
             return program, report, rejected
@@ -84,11 +110,15 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
 
 
 def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
-                   max_cycles: int, faults: Optional[str] = None) -> int:
+                   max_cycles: int, faults: Optional[str] = None,
+                   tier: Optional[str] = None) -> int:
     """Replay every ``*.c`` reproducer in ``directory`` through the
-    oracle, optionally under a bounded cache and/or injected faults --
-    the CI proof that neither eviction nor graceful degradation ever
-    changes program results on known-tricky programs."""
+    oracle, optionally under a bounded cache, injected faults and/or
+    an adaptive tiering policy -- the CI proof that neither eviction
+    nor graceful degradation nor tiering ever changes program results
+    on known-tricky programs.  A reproducer saved with a ``// tier:``
+    header replays under that recorded policy (it overrides
+    ``tier``)."""
     import glob
     import re
 
@@ -99,6 +129,8 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
     label = cache_config.describe() if cache_config else "unbounded"
     if faults:
         label += " faults=%s" % faults
+    if tier:
+        label += " tier=%s" % tier
     failures = 0
     for path in paths:
         with open(path) as handle:
@@ -106,9 +138,12 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
         match = re.search(r"^// args:\s*(.*)$", text, re.MULTILINE)
         arg_list = ([int(tok) for tok in match.group(1).split()]
                     if match else []) or [0]
+        tier_match = re.search(r"^// tier:\s*(\S+)", text, re.MULTILINE)
+        file_tier = tier_match.group(1) if tier_match else tier
         for arg in arg_list:
             report = run_oracle(text, [arg], max_cycles=max_cycles,
-                                cache_config=cache_config, faults=faults)
+                                cache_config=cache_config, faults=faults,
+                                tier=file_tier)
             if report.annotation_reject or report.ok:
                 continue
             failures += 1
@@ -165,6 +200,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "all:PROB, optionally @SEED; e.g. "
                              "all:0.1) -- the oracle then proves the "
                              "degraded runs still match the interpreter")
+    parser.add_argument("--tier", default=None, metavar="SPEC",
+                        help="fix the tiering policy for the oracle's "
+                             "adaptive leg (eager | threshold:N | "
+                             "breakeven[:H], options spec=K/versions=V/"
+                             "speedup=F) instead of fuzzing a random "
+                             "policy per iteration")
+    parser.add_argument("--no-tier-fuzz", action="store_true",
+                        help="always run eager tiering (pre-tiering "
+                             "behavior: no adaptive oracle leg)")
     parser.add_argument("--replay", default=None, metavar="DIR",
                         help="replay DIR/*.c reproducers through the "
                              "oracle (honoring --cache) instead of "
@@ -176,9 +220,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                    if args.cache is not None else None)
     if args.faults is not None:
         FaultPlan.parse(args.faults)  # fail fast on a bad spec
+    if args.tier is not None:
+        TierPolicy.parse(args.tier)  # fail fast on a bad spec
     if args.replay is not None:
         return _replay_corpus(args.replay, fixed_cache, args.max_cycles,
-                              faults=args.faults)
+                              faults=args.faults, tier=args.tier)
 
     corpus_dir = args.corpus_dir
     if corpus_dir is None:
@@ -206,10 +252,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_config = fixed_cache
         else:
             cache_config = random_cache_config(args.seed, i)
+        if args.no_tier_fuzz:
+            tier_spec: Optional[str] = None
+        elif args.tier is not None:
+            tier_spec = args.tier
+        else:
+            tier_spec = random_tier_policy(args.seed, i)
         program, bad, rejected = fuzz_one(
             args.seed, i, max_stmts=args.max_stmts,
             max_cycles=args.max_cycles, cache_config=cache_config,
-            faults=args.faults)
+            faults=args.faults, tier=tier_spec)
         # Snapshot the tail now, before ablation/shrinking reruns
         # overwrite the ring with events from other programs.
         trace_tail = list(tracer.events) if tracer is not None else []
@@ -230,12 +282,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         divergences += 1
         print("=" * 70)
-        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s%s"
+        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s%s%s"
               % (i, args.seed, bad.args,
                  cache_config.describe() if cache_config else "unbounded",
-                 " faults=%s" % args.faults if args.faults else ""))
+                 " faults=%s" % args.faults if args.faults else "",
+                 " tier=%s" % tier_spec if tier_spec else ""))
         for divergence in bad.divergences:
             print("  " + str(divergence))
+        if tier_spec is not None:
+            # Is the bug tiering-specific?  Ablation/shrink reruns run
+            # eager, so a divergence that needs the adaptive leg must
+            # keep its original program and policy spec.
+            recheck = run_oracle(program.source, bad.args,
+                                 max_cycles=args.max_cycles,
+                                 cache_config=cache_config,
+                                 faults=args.faults)
+            if recheck.ok:
+                print("  divergence requires tier=%s (vanishes eager); "
+                      "writing unshrunk reproducer" % tier_spec)
+                os.makedirs(corpus_dir, exist_ok=True)
+                name = "seed%d_iter%03d_tier.c" % (args.seed, i)
+                path = os.path.join(corpus_dir, name)
+                with open(path, "w") as handle:
+                    handle.write("// tier: %s\n" % tier_spec)
+                    if args.faults:
+                        handle.write("// faults: %s\n" % args.faults)
+                    if cache_config is not None:
+                        handle.write("// cache: %s\n"
+                                     % cache_config.describe())
+                    handle.write(format_reproducer(program, bad, None))
+                print("  wrote %s" % path)
+                continue
         if args.faults:
             # Is the bug fault-specific?  Ablation/shrink reruns run
             # fault-free, so a divergence that needs injected faults

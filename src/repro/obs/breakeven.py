@@ -61,6 +61,14 @@ class BreakEvenRow:
     stitcher_cycles: int
     #: Total instructions emitted by stitches of this region.
     instrs_stitched: int
+    #: Region entries the tiering policy served cold (0 for eager runs).
+    cold_entries: int = 0
+    #: The tier controller's predicted break-even entry count (the
+    #: smallest prediction across the region's keys), when the dynamic
+    #: run was adaptive and a prediction was made; None otherwise.
+    #: Comparing it with the measured :attr:`breakeven_runs` is the
+    #: report's predicted-vs-actual amortization check.
+    predicted_breakeven: Optional[int] = None
 
     # -- derived (the paper's Section 5 quantities) -----------------------
 
@@ -104,8 +112,19 @@ class BreakEvenRow:
         return self.overhead_cycles / max(1, self.instrs_stitched)
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-stable rendering (raw fields + derived metrics)."""
+        """JSON-stable rendering (raw fields + derived metrics).
+
+        Tiering fields are emitted only for adaptive runs, so eager
+        reports stay bit-identical to the pre-tiering goldens.
+        """
         breakeven = self.breakeven_runs
+        out = self._base_dict(breakeven)
+        if self.predicted_breakeven is not None or self.cold_entries:
+            out["cold_entries"] = self.cold_entries
+            out["predicted_breakeven"] = self.predicted_breakeven
+        return out
+
+    def _base_dict(self, breakeven) -> Dict[str, object]:
         return {
             "region": "%s:%d" % (self.func_name, self.region_id),
             "executions": self.executions,
@@ -140,12 +159,15 @@ def rows_from_results(static_result, dynamic_result) -> List[BreakEvenRow]:
         keys.add((report.func_name, report.region_id))
     rows: List[BreakEvenRow] = []
     hits = getattr(dynamic_result, "cache_hits", []) or []
+    tier_stats = getattr(dynamic_result, "tier_stats", {}) or {}
+    colds = getattr(dynamic_result, "cold_entries", []) or []
     for func_name, region_id in sorted(keys):
         key = (func_name, region_id)
         suffix = "%s:%d" % key
         dyn = dynamic_result.cycles_by_owner
         reports = [r for r in dynamic_result.stitch_reports
                    if (r.func_name, r.region_id) == key]
+        region_tier = tier_stats.get(key, {})
         rows.append(BreakEvenRow(
             func_name=func_name,
             region_id=region_id,
@@ -160,6 +182,9 @@ def rows_from_results(static_result, dynamic_result) -> List[BreakEvenRow]:
             setup_cycles=dyn.get("setup:" + suffix, 0),
             stitcher_cycles=dyn.get("stitcher:" + suffix, 0),
             instrs_stitched=sum(r.instrs_emitted for r in reports),
+            cold_entries=sum(1 for c in colds
+                             if (c.func_name, c.region_id) == key),
+            predicted_breakeven=region_tier.get("predicted_breakeven"),
         ))
     return rows
 

@@ -3,8 +3,10 @@ interpreter used as the semantic oracle."""
 
 from .engine import Program, RunResult, compile_ir_module, compile_program
 from .interp import Interpreter, InterpError, run_source
+from .tiering import ColdEntry, TierController, TierPolicy
 
 __all__ = [
-    "Interpreter", "InterpError", "Program", "RunResult",
+    "ColdEntry", "Interpreter", "InterpError", "Program", "RunResult",
+    "TierController", "TierPolicy",
     "compile_ir_module", "compile_program", "run_source",
 ]

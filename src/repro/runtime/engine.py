@@ -46,6 +46,7 @@ from ..obs.metrics import registry as obs_metrics
 from ..opt.pipeline import OptOptions, OptStats, optimize
 from .fallback import FallbackCode, build_fallback
 from .guards import BreakerConfig, RegionBreaker, StitchBudget
+from .tiering import ColdEntry, TierController, TierPolicy
 
 Number = Union[int, float]
 
@@ -118,6 +119,14 @@ class RunResult:
     #: breaker saw at least one failure.
     breaker_stats: Dict[Tuple[str, int], Dict[str, int]] = field(
         default_factory=dict)
+    #: region entries the tiering policy kept on the fallback tier
+    #: (always empty for eager runs -- cold-by-policy is distinct from
+    #: the degradation ``fallbacks`` above).
+    cold_entries: List[ColdEntry] = field(default_factory=list)
+    #: (func, region_id) -> adaptive-tiering stats (promotions, cold
+    #: entries, per-key counters...); empty for eager runs.
+    tier_stats: Dict[Tuple[str, int], Dict[str, object]] = field(
+        default_factory=dict)
 
     def owner_cycles(self, prefix: str) -> int:
         """Total cycles across owners starting with ``prefix``."""
@@ -156,7 +165,8 @@ class Program:
                  cache_config: Optional[CacheConfig] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  stitch_budget: Optional[StitchBudget] = None,
-                 breaker_config: Optional[BreakerConfig] = None):
+                 breaker_config: Optional[BreakerConfig] = None,
+                 tier: Optional[Union[TierPolicy, str]] = None):
         self.compiled = compiled
         self.layout = layout
         self.mode = mode
@@ -173,6 +183,9 @@ class Program:
         self.stitch_budget = stitch_budget
         #: circuit-breaker tuning (always on; a no-op without failures).
         self.breaker_config = breaker_config or BreakerConfig()
+        #: default tiering policy (``eager`` preserves the historical
+        #: stitch-on-first-entry behavior; a ``run`` call can override).
+        self.tier = TierPolicy.parse(tier)
         # Cached VM for repeated runs: building a multi-megaword memory
         # image and re-installing/re-resolving the code dominates the
         # host cost of short executions.  The cache holds the VM plus
@@ -226,18 +239,23 @@ class Program:
             memory_words: int = 1 << 22,
             dispatch: str = "threaded",
             cache: Optional[CacheConfig] = None,
-            fault_plan: Optional[FaultPlan] = None) -> RunResult:
+            fault_plan: Optional[FaultPlan] = None,
+            tier: Optional[Union[TierPolicy, str]] = None) -> RunResult:
         """Run ``func(*args)``; ``dispatch`` picks the VM execution
         engine ("threaded" predecoded fast path, or the retained
         "naive" decode loop -- equivalent by construction and by
         test); ``cache`` overrides the program's code-cache
         configuration for this execution, ``fault_plan`` the fault
-        schedule (default: the program's own plan, usually None)."""
+        schedule (default: the program's own plan, usually None),
+        ``tier`` the tiering policy (a :class:`TierPolicy` or spec
+        string; default: the program's policy, usually eager)."""
         vm = self._acquire_vm(memory_words, max_cycles)
         faults = fault_plan if fault_plan is not None else self.fault_plan
         fault_baseline = dict(faults.counts) if faults is not None else {}
+        tier_policy = TierPolicy.parse(tier) if tier is not None \
+            else self.tier
         runtime = _RegionRuntime(self, vm, cache or self.cache_config,
-                                 faults=faults)
+                                 faults=faults, tier=tier_policy)
         vm.rt_handlers["region_lookup"] = runtime.lookup
         vm.rt_handlers["region_stitch"] = runtime.stitch
         entry_fn = self.compiled.get(func)
@@ -285,6 +303,9 @@ class Program:
                 for region, breaker in runtime.breakers.items()
                 if breaker.trips or breaker.resets or breaker.consecutive
             },
+            cold_entries=list(runtime.cold_entries),
+            tier_stats=(runtime.tier.snapshot()
+                        if runtime.tier is not None else {}),
         )
 
 
@@ -294,7 +315,8 @@ class _RegionRuntime:
 
     def __init__(self, program: Program, vm: VM,
                  cache_config: Optional[CacheConfig] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 tier: Optional[TierPolicy] = None):
         self.program = program
         self.vm = vm
         self.faults = faults
@@ -306,7 +328,10 @@ class _RegionRuntime:
         self.cache_hits: List[CacheHit] = []
         #: region entries served by the static fallback tier.
         self.fallbacks: List[FallbackEvent] = []
-        #: lazily built generic code per region (first failure only).
+        #: region entries kept cold by the tiering policy.
+        self.cold_entries: List[ColdEntry] = []
+        #: lazily built generic code per region (first failure only,
+        #: or first cold entry under an adaptive tier).
         self.fallback_codes: Dict[Tuple[str, int], FallbackCode] = {}
         #: per-region circuit breakers (created on first stitch).
         self.breakers: Dict[Tuple[str, int], RegionBreaker] = {}
@@ -314,6 +339,13 @@ class _RegionRuntime:
         for function in program.compiled.values():
             for region in function.regions:
                 self._regions[(function.name, region.region_id)] = region
+        #: adaptive-tiering controller; None for eager runs, which
+        #: keeps the eager path bit-identical to the historical engine.
+        self.tier: Optional[TierController] = None
+        if tier is not None and tier.adaptive:
+            self.tier = TierController(tier, vm, self._regions,
+                                       program.stitcher_costs,
+                                       faults=faults)
 
     def lookup(self, vm: VM, instr: MInstr) -> int:
         func, region_id = instr.extra  # type: ignore[misc]
@@ -322,11 +354,17 @@ class _RegionRuntime:
                        region_key(vm.regs, region.key_count))
         entries = self.entries
         entries[key.region] = entries.get(key.region, 0) + 1
+        tier = self.tier
+        if tier is not None:
+            tier.on_entry(func, region_id, key.key)
         cached = self.cache.lookup(key)
         if cached is None:
             # Miss: the dispatch glue falls through to region_stitch,
-            # which records the StitchReport (so misses == stitches).
+            # which records the StitchReport (so misses == stitches)
+            # -- or, under an adaptive tier, decides to stay cold.
             return 0
+        if tier is not None:
+            tier.on_hit(func, region_id, key.key, cached)
         self.cache_hits.append(
             CacheHit(func, region_id, key.key, cached.entry_pc))
         vm.regs[CPOOL] = cached.pool_base
@@ -345,9 +383,14 @@ class _RegionRuntime:
         if not breaker.should_attempt():
             # Circuit open: the region is pinned to static execution
             # until the cooldown (counted in region entries) expires.
+            # This outranks tiering -- a tripped region never promotes
+            # mid-cooldown, however hot its keys run.
             breaker.on_entry_while_open()
             return self._fallback(func, region_id, key, table_addr,
                                   reason="breaker", injected=False)
+        tier = self.tier
+        if tier is not None and not tier.decide(func, region_id, key):
+            return self._cold(func, region_id, key, table_addr)
         host_start = time.perf_counter()
         try:
             entry = stitch_entry(
@@ -374,6 +417,8 @@ class _RegionRuntime:
             return self._fallback(func, region_id, key, table_addr,
                                   reason=reason, injected=injected)
         breaker.on_success()
+        if tier is not None:
+            tier.on_promote(func, region_id, key, entry)
         report = entry.report
         self.reports.append(report)
         if obs_metrics._enabled:
@@ -390,12 +435,8 @@ class _RegionRuntime:
         vm.regs[CPOOL] = report.pool_base
         return report.entry
 
-    def _fallback(self, func: str, region_id: int,
-                  key: Tuple[Number, ...], table_addr: int,
-                  reason: str, injected: bool) -> int:
-        """Transfer this region entry to the static fallback tier:
-        build (once) and target the region's generic code, pointing
-        its table cell at the freshly filled constants table."""
+    def _fallback_code(self, func: str, region_id: int) -> FallbackCode:
+        """The region's generic fallback code, built on first use."""
         fb = self.fallback_codes.get((func, region_id))
         if fb is None:
             fb = build_fallback(self.vm, self.program.compiled[func],
@@ -405,7 +446,33 @@ class _RegionRuntime:
             # The block lives inside the code arena's address range but
             # must survive compaction and stay out of cache capacity.
             self.cache.reserve(fb.base, fb.words)
+        return fb
+
+    def _cold(self, func: str, region_id: int,
+              key: Tuple[Number, ...], table_addr: int) -> int:
+        """Serve a region entry cold: the tiering policy decided this
+        (region, key) is not yet worth a stitch, so it executes the
+        generic fallback code against the freshly filled table."""
+        fb = self._fallback_code(func, region_id)
         self.vm.store(fb.table_cell, table_addr)
+        tier = self.tier
+        assert tier is not None
+        self.cold_entries.append(
+            ColdEntry(func, region_id, key,
+                      tier.count(func, region_id, key), fb.entry))
+        tier.on_cold(func, region_id, key)
+        return fb.entry
+
+    def _fallback(self, func: str, region_id: int,
+                  key: Tuple[Number, ...], table_addr: int,
+                  reason: str, injected: bool) -> int:
+        """Transfer this region entry to the static fallback tier:
+        build (once) and target the region's generic code, pointing
+        its table cell at the freshly filled constants table."""
+        fb = self._fallback_code(func, region_id)
+        self.vm.store(fb.table_cell, table_addr)
+        if self.tier is not None:
+            self.tier.on_degraded(func, region_id, key)
         self.fallbacks.append(
             FallbackEvent(func, region_id, key, reason, injected,
                           fb.entry))
@@ -429,7 +496,8 @@ def compile_program(source: str, mode: str = "dynamic",
                     cache_config: Optional[CacheConfig] = None,
                     fault_plan: Optional[FaultPlan] = None,
                     stitch_budget: Optional[StitchBudget] = None,
-                    breaker_config: Optional[BreakerConfig] = None
+                    breaker_config: Optional[BreakerConfig] = None,
+                    tier: Optional[Union[TierPolicy, str]] = None
                     ) -> Program:
     """Compile MiniC source through the full static pipeline.
 
@@ -441,6 +509,8 @@ def compile_program(source: str, mode: str = "dynamic",
     the program's runs (default: unbounded, the historical behavior).
     ``fault_plan`` / ``stitch_budget`` / ``breaker_config`` tune the
     graceful-degradation tier (see ``docs/ROBUSTNESS.md``).
+    ``tier`` sets the default tiering policy (see ``docs/TIERING.md``;
+    default eager, the historical stitch-on-first-entry behavior).
     """
     if mode not in ("dynamic", "static"):
         raise ValueError("mode must be 'dynamic' or 'static'")
@@ -462,7 +532,8 @@ def compile_program(source: str, mode: str = "dynamic",
                              cache_config=cache_config,
                              fault_plan=fault_plan,
                              stitch_budget=stitch_budget,
-                             breaker_config=breaker_config)
+                             breaker_config=breaker_config,
+                             tier=tier)
 
 
 def _refresh_plan_membership(func, plans: List[RegionPlan],
@@ -502,7 +573,8 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                       cache_config: Optional[CacheConfig] = None,
                       fault_plan: Optional[FaultPlan] = None,
                       stitch_budget: Optional[StitchBudget] = None,
-                      breaker_config: Optional[BreakerConfig] = None
+                      breaker_config: Optional[BreakerConfig] = None,
+                      tier: Optional[Union[TierPolicy, str]] = None
                       ) -> Program:
     """Compile an already-built IR module (for IR-level tests)."""
     opt_options = opt_options or OptOptions()
@@ -541,4 +613,5 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                    cache_config=cache_config,
                    fault_plan=fault_plan,
                    stitch_budget=stitch_budget,
-                   breaker_config=breaker_config)
+                   breaker_config=breaker_config,
+                   tier=tier)

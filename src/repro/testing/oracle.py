@@ -48,6 +48,7 @@ from ..machine.vm import VMError
 from ..opt.pipeline import OptOptions
 from ..runtime.engine import Program, compile_program
 from ..runtime.interp import Interpreter, InterpError
+from ..runtime.tiering import TierPolicy
 
 Number = Union[int, float]
 
@@ -164,6 +165,7 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             max_cycles: int = 200_000_000,
             cache_config: Optional[CacheConfig] = None,
             faults: Optional[str] = None,
+            tier: Optional[str] = None,
             ) -> Tuple[OracleOutcome, Optional[Program], list]:
     try:
         program = compile_program(
@@ -171,7 +173,7 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             use_reachability=use_reachability,
             stitcher_costs=stitcher_costs,
             register_actions=register_actions,
-            cache_config=cache_config)
+            cache_config=cache_config, tier=tier)
     except AnnotationError as exc:
         return (OracleOutcome(leg, "annotation-reject",
                               error="%s: %s" % (type(exc).__name__, exc)),
@@ -301,11 +303,13 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
             "re-stitches not word-identical to original stitches: %s"
             % ", ".join(cache_stats.restitch_mismatches[:4]))
     # Region-entry accounting: every lookup is a cache hit, a stitch,
-    # or a fallback transfer, so per region entries == hits + stitches
-    # + fallbacks (the runtime records every event precisely so this
+    # a fallback transfer, or (under an adaptive tier) a cold entry,
+    # so per region entries == hits + stitches + fallbacks +
+    # cold_entries (the runtime records every event precisely so this
     # can be checked).
     entries = getattr(result, "region_entries", None)
     fallback_events = getattr(result, "fallbacks", []) or []
+    cold_events = getattr(result, "cold_entries", []) or []
     if entries is not None:
         stitches: Dict[Tuple[str, int], int] = {}
         for report in result.stitch_reports:
@@ -319,24 +323,32 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
         for event in fallback_events:
             key = (event.func_name, event.region_id)
             falls[key] = falls.get(key, 0) + 1
-        for key in set(entries) | set(stitches) | set(hits) | set(falls):
+        colds: Dict[Tuple[str, int], int] = {}
+        for cold in cold_events:
+            key = (cold.func_name, cold.region_id)
+            colds[key] = colds.get(key, 0) + 1
+        for key in (set(entries) | set(stitches) | set(hits)
+                    | set(falls) | set(colds)):
             observed = entries.get(key, 0)
             expected = (hits.get(key, 0) + stitches.get(key, 0)
-                        + falls.get(key, 0))
+                        + falls.get(key, 0) + colds.get(key, 0))
             if observed != expected:
                 failures.append(
                     "region %s:%d: %d entries != %d cache hits + %d "
-                    "stitches + %d fallbacks"
+                    "stitches + %d fallbacks + %d cold entries"
                     % (key[0], key[1], observed, hits.get(key, 0),
-                       stitches.get(key, 0), falls.get(key, 0)))
+                       stitches.get(key, 0), falls.get(key, 0),
+                       colds.get(key, 0)))
+    failures.extend(_check_tier_invariants(result))
     # Fault accounting: every injected fault must be matched by an
     # observed recovery.  Raising sites produce injected fallback
     # events; the checksum site produces a verification failure (and a
-    # re-stitch) instead.
+    # re-stitch) instead, and tier.flip perturbs a (non-raising)
+    # tiering decision -- neither produces a fallback event.
     fault_counts = getattr(result, "fault_counts", None)
     if fault_counts:
         raised = sum(count for site, count in fault_counts.items()
-                     if site != "cache.checksum")
+                     if site not in ("cache.checksum", "tier.flip"))
         injected_falls = sum(1 for event in fallback_events
                              if event.injected)
         if raised != injected_falls:
@@ -351,6 +363,57 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
                 "fault accounting: %d injected checksum faults != %d "
                 "observed checksum failures"
                 % (checksum, observed_checksum))
+    return failures
+
+
+def _check_tier_invariants(result) -> List[str]:
+    """The adaptive-tiering invariant set (empty for eager runs).
+
+    * every eager run has no cold entries and no tier stats at all;
+    * every promoted key ran at least as many entries as the policy's
+      promotion point demands (``threshold`` for threshold mode, 2 for
+      breakeven -- the first entry is always the cold measurement),
+      unless speculation or an injected ``tier.flip`` legitimately
+      promoted it early;
+    * per-region cold-entry counts agree between the event list and
+      the controller's own stats.
+    """
+    failures: List[str] = []
+    tier_stats = getattr(result, "tier_stats", None) or {}
+    cold_events = getattr(result, "cold_entries", []) or []
+    if not tier_stats:
+        if cold_events:
+            failures.append(
+                "eager run recorded %d cold entries" % len(cold_events))
+        return failures
+    colds: Dict[Tuple[str, int], int] = {}
+    for cold in cold_events:
+        key = (cold.func_name, cold.region_id)
+        colds[key] = colds.get(key, 0) + 1
+    fault_counts = getattr(result, "fault_counts", None) or {}
+    flipped = fault_counts.get("tier.flip", 0) > 0
+    for region, stats in tier_stats.items():
+        observed_cold = colds.get(region, 0)
+        if observed_cold != stats.get("cold_entries", 0):
+            failures.append(
+                "tier %s:%d: %d cold entry events != %d controller "
+                "cold entries" % (region[0], region[1], observed_cold,
+                                  stats.get("cold_entries", 0)))
+        policy = TierPolicy.parse(stats.get("mode"))
+        if flipped or stats.get("speculative_promotions") \
+                or policy.speculate:
+            # Speculative marks and injected decision flips promote
+            # keys below their earned promotion point by design.
+            continue
+        minimum = policy.threshold if policy.mode == "threshold" else 2
+        counters = stats.get("counters", {})
+        for key_repr in stats.get("promoted_keys", []):
+            count = counters.get(key_repr, 0)
+            if count < minimum:
+                failures.append(
+                    "tier %s:%d: key %s promoted at counter %d < "
+                    "promotion point %d" % (region[0], region[1],
+                                            key_repr, count, minimum))
     return failures
 
 
@@ -422,7 +485,8 @@ def run_oracle(source: str, args: List[int],
                check_invariants: bool = True,
                max_cycles: int = 200_000_000,
                cache_config: Optional[CacheConfig] = None,
-               faults: Optional[str] = None) -> OracleReport:
+               faults: Optional[str] = None,
+               tier: Optional[str] = None) -> OracleReport:
     """Run all legs on ``main(args...)`` and compare.
 
     The interpreter is the semantic baseline; static and dynamic (and
@@ -436,6 +500,12 @@ def run_oracle(source: str, args: List[int],
     applies only to the dynamic legs: under injected faults the engine
     must degrade to the static fallback tier, never to a wrong answer,
     so the same comparisons double as a degradation-correctness proof.
+    ``tier`` (a :meth:`TierPolicy.parse` spec), when adaptive, adds a
+    fourth execution leg -- the same dynamic program under the
+    adaptive tiering policy -- proving interp/static/stitched/tiered
+    all observe bit-identical results and that the tiering invariant
+    set (entries == hits + stitches + fallbacks + cold entries, no
+    under-threshold promotions) holds whatever the policy decides.
     """
     divergences: List[Divergence] = []
     interp = _interp_leg(source, args)
@@ -470,6 +540,22 @@ def run_oracle(source: str, args: List[int],
         for failure in action_invariants:
             divergences.append(Divergence(
                 "invariant", "dynamic+regactions", "stitcher", failure))
+
+    if tier is not None and TierPolicy.parse(tier).adaptive:
+        tiered, _, tier_invariants = _vm_leg(
+            "dynamic+tiered", source, args, "dynamic",
+            opt_options=opt_options, use_reachability=use_reachability,
+            runs=2, check_invariants=check_invariants,
+            max_cycles=max_cycles, cache_config=cache_config,
+            faults=faults, tier=tier)
+        outcomes["dynamic+tiered"] = tiered
+        _compare(interp, tiered, divergences)
+        if not any("dynamic+tiered" in (d.left, d.right)
+                   for d in divergences):
+            _compare(dynamic, tiered, divergences)
+        for failure in tier_invariants:
+            divergences.append(Divergence(
+                "invariant", "dynamic+tiered", "tiering", failure))
 
     for divergence in divergences:
         divergence.source = source

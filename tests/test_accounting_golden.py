@@ -163,6 +163,35 @@ def test_dispatch_rejects_unknown() -> None:
         program.run("main", [1], dispatch="sideways")
 
 
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_eager_tier_matches_golden(name: str, mode: str) -> None:
+    """Tier parity: an explicit ``tier="eager"`` run must reproduce
+    the pre-tiering golden snapshots bit-for-bit -- the eager path
+    constructs no controller, charges no ``tier:`` owner, and records
+    no tiering state."""
+    golden = _load_golden()
+    expected = golden["%s/%s" % (name, mode)]
+    workload = CASES[name]()
+    program = compile_program(workload.source, mode=mode, tier="eager")
+    result = program.run(tier="eager")
+    assert result.value == expected["value"]
+    assert result.cycles == expected["cycles"]
+    assert dict(result.cycles_by_owner) == expected["cycles_by_owner"]
+    assert dict(result.instrs_by_owner) == expected["instrs_by_owner"]
+    assert dict(result.op_counts) == expected["op_counts"]
+    assert result.tier_stats == {}
+    assert result.cold_entries == []
+    if mode == "dynamic":
+        assert len(result.stitch_reports) \
+            == len(expected["stitch_reports"])
+        for report, row in zip(result.stitch_reports,
+                               expected["stitch_reports"]):
+            for f in REPORT_FIELDS:
+                assert getattr(report, f) == row[f], f
+            assert list(report.key) == row["key"]
+
+
 def _load_golden() -> Dict[str, Dict[str, object]]:
     if not GOLDEN_PATH.exists():
         pytest.skip("golden_accounting.json missing; run --regen")

@@ -106,3 +106,84 @@ def test_compile_error_reported(tmp_path):
 def test_missing_file():
     proc = run_cli("/nonexistent/path.c")
     assert proc.returncode == 2
+
+
+# -- adaptive tiering ---------------------------------------------------------
+
+def test_tier_threshold_flag(source_file):
+    proc = run_cli(source_file, "--args", "10", "--tier", "threshold:2")
+    assert proc.returncode == 0, proc.stderr
+    assert "214" in proc.stdout
+    assert "tier[threshold:2]" in proc.stdout
+    assert "cold entries" in proc.stdout
+
+
+def test_tier_breakeven_flag(source_file):
+    proc = run_cli(source_file, "--args", "10", "--tier", "breakeven:16")
+    assert proc.returncode == 0, proc.stderr
+    assert "214" in proc.stdout
+    assert "tier[breakeven:16]" in proc.stdout
+
+
+def test_tier_eager_prints_no_tier_summary(source_file):
+    proc = run_cli(source_file, "--args", "10")
+    assert proc.returncode == 0
+    assert "tier[" not in proc.stdout
+
+
+def test_tier_bad_spec_rejected(source_file):
+    proc = run_cli(source_file, "--tier", "sometimes")
+    assert proc.returncode == 2
+    assert "--tier" in proc.stderr
+
+
+# -- bench --seed threading (regression) --------------------------------------
+
+def test_bench_seed_threads_to_cache_pressure_sweep(monkeypatch, capsys):
+    """Regression: ``python -m repro.bench --seed`` must reach the
+    cache-pressure sweep's skewed-key generator (it used to stop at
+    the Table 2 workloads, leaving the sweep pinned to the historical
+    stream)."""
+    from types import SimpleNamespace
+
+    import repro.bench.__main__ as bench_main
+    import repro.bench.cachepressure as cp
+
+    seen = {}
+
+    def fake_sweep(executions, program=None, seed=None, **kwargs):
+        seen["seed"] = seed
+        return []
+
+    monkeypatch.setattr(cp, "sweep", fake_sweep)
+    monkeypatch.setattr(cp, "compile_pressure_program", lambda: None)
+    monkeypatch.setattr(cp, "format_sweep", lambda rows: "(sweep)")
+    # Skip the slow Table 2 measurements: one pre-measured dummy row.
+    workload = SimpleNamespace(name="dummy", config="cfg")
+    monkeypatch.setattr(bench_main, "all_workloads",
+                        lambda scale, seed=None: [workload])
+    monkeypatch.setattr(bench_main, "measure",
+                        lambda w, **kwargs: "row")
+    monkeypatch.setattr(bench_main, "format_table2", lambda rows: "t2")
+    monkeypatch.setattr(bench_main, "format_table3", lambda rows: "t3")
+
+    assert bench_main.main(["--seed", "23"]) == 0
+    assert seen["seed"] == 23
+    assert bench_main.main([]) == 0
+    assert seen["seed"] == cp.DEFAULT_SEED
+    capsys.readouterr()
+
+
+def test_cachepressure_cli_seed_changes_key_stream(tmp_path):
+    """Different --seed values must produce different key streams
+    (observable as different bounded-cache behavior)."""
+    def cell(seed):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench.cachepressure",
+             "--executions", "60", "--cardinality", "8",
+             "--capacity", "2", "--seed", str(seed)],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    assert cell(7) != cell(23)

@@ -250,8 +250,8 @@ def test_compaction_under_pressure_preserves_results():
     the free list at a tiny capacity; compaction must fire and the
     result must stay bit-identical to the unbounded baseline."""
     program = compile_pressure_program()
-    baseline = program.run("main", [30, 8])
-    bounded = program.run("main", [30, 8], cache=CacheConfig("lru", 2))
+    baseline = program.run("main", [30, 8, 7])
+    bounded = program.run("main", [30, 8, 7], cache=CacheConfig("lru", 2))
     stats = bounded.cache_stats
     assert bounded.value == baseline.value
     assert stats.evictions > 0
@@ -307,10 +307,10 @@ def test_accounting_invariant_under_random_capacities():
     cost-aware with tiny entry caps and occasional word caps), with
     results bit-identical to the unbounded baseline throughout."""
     program = compile_pressure_program()
-    baseline = program.run("main", [16, 5])
+    baseline = program.run("main", [16, 5, 7])
     for iteration in range(200):
         config = random_cache_config(11, iteration)
-        result = program.run("main", [16, 5], cache=config)
+        result = program.run("main", [16, 5, 7], cache=config)
         stats = result.cache_stats
         assert result.value == baseline.value, config.describe()
         assert sum(result.region_entries.values()) \

@@ -29,12 +29,19 @@ def corpus_args(text: str) -> list:
     return [int(tok) for tok in match.group(1).split()] or [0]
 
 
+def corpus_tier(text: str):
+    """Tier spec from a reproducer's ``// tier:`` header, if any --
+    written by the fuzzer for tiering-specific divergences."""
+    match = re.search(r"^// tier:\s*(\S+)", text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
 @pytest.mark.parametrize(
     "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
 def test_corpus_reproducer_stays_fixed(path: Path) -> None:
     text = path.read_text()
     for arg in corpus_args(text):
-        report = run_oracle(text, [arg])
+        report = run_oracle(text, [arg], tier=corpus_tier(text))
         assert not report.annotation_reject, \
             "%s (arg %d): dynamic leg rejected: %s" \
             % (path.name, arg,

@@ -1,0 +1,118 @@
+"""Property-based tests for adaptive tiering.
+
+Two properties the tiering design leans on:
+
+* **Order-independence** (without speculation): a key's promotion
+  state, counter, and predicted break-even depend only on the
+  *multiset* of region entries, never on their order.  Threshold mode
+  compares a pure count; breakeven's measured cold cost is a pure
+  function of the key (fallback code is deterministic per key), so
+  its decisions are order-free too.  Speculation deliberately breaks
+  this -- marks depend on which sibling happens to be hot when a
+  promotion lands -- which is why it is opt-in and excluded here.
+* **Conservation**: every simulated cycle is attributed to exactly
+  one owner -- ``sum(cycles_by_owner) == cycles`` -- whatever the
+  policy decides, and every region entry lands in exactly one of
+  {cache hit, stitch, fallback, cold}.
+
+The key sequence is packed into one integer argument (2 bits per key)
+so a single compiled program serves every example -- hypothesis only
+pays for VM runs, not compiles.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import compile_program
+
+#: main(packed, n) replays n keys (base-4 digits of ``packed``, least
+#: significant first) through one keyed region.
+SOURCE = """
+int region(int k, int v) {
+    int t = v;
+    dynamicRegion key(k) (k) {
+        int r = t * 3 + k * 5;
+        return r;
+    }
+}
+
+int main(int packed, int n) {
+    int t = 0;
+    int i;
+    int p = packed;
+    for (i = 0; i < n; i++) {
+        t = t + region(p % 4, i);
+        p = p / 4;
+    }
+    return t;
+}
+"""
+
+PROGRAM = compile_program(SOURCE, mode="dynamic")
+
+#: No-speculation policies only: order-independence is a documented
+#: non-property once speculative marks are in play.
+POLICIES = st.sampled_from([
+    "threshold:1", "threshold:2", "threshold:3",
+    "breakeven", "breakeven:4", "breakeven:64,speedup=1.2",
+])
+
+KEY_SEQUENCES = st.lists(st.integers(min_value=0, max_value=3),
+                         min_size=1, max_size=12)
+
+
+def pack(keys):
+    packed = 0
+    for key in reversed(keys):
+        packed = packed * 4 + key
+    return packed
+
+
+def run(keys, tier=None):
+    return PROGRAM.run("main", [pack(keys), len(keys)], tier=tier)
+
+
+def tier_state(result):
+    """The per-key adaptive state a run ends in."""
+    stats = result.tier_stats.get(("region", 1), {})
+    return {
+        "promoted": sorted(stats.get("promoted_keys", [])),
+        "counters": stats.get("counters", {}),
+        "predicted": stats.get("predicted_breakeven_by_key", {}),
+        "cold_by_key": sorted((c.key, c.count)
+                              for c in result.cold_entries),
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(KEY_SEQUENCES, st.randoms(use_true_random=False), POLICIES)
+def test_promotion_state_is_order_independent(keys, rng, tier):
+    """Same entry multiset, any order: identical promotion decisions,
+    counters, predictions, and per-key cold-entry profiles."""
+    shuffled = list(keys)
+    rng.shuffle(shuffled)
+    assert tier_state(run(keys, tier)) == tier_state(run(shuffled, tier))
+    # A canonical (sorted) replay agrees too.
+    assert tier_state(run(keys, tier)) == tier_state(run(sorted(keys),
+                                                         tier))
+
+
+@settings(max_examples=40, deadline=None)
+@given(KEY_SEQUENCES, POLICIES)
+def test_cycles_conserved_and_entries_partitioned(keys, tier):
+    """Every cycle has exactly one owner and every region entry lands
+    in exactly one service class -- and the adaptive run computes the
+    same value as the eager run."""
+    eager = run(keys)
+    result = run(keys, tier)
+    assert result.value == eager.value
+    assert sum(result.cycles_by_owner.values()) == result.cycles
+    assert sum(eager.cycles_by_owner.values()) == eager.cycles
+    stats = result.cache_stats
+    assert sum(result.region_entries.values()) \
+        == stats.hits + len(result.stitch_reports) \
+        + len(result.fallbacks) + len(result.cold_entries)
+    # Tier bookkeeping cost is visible, attributed, and adaptive-only.
+    if result.cold_entries or result.stitch_reports:
+        assert result.cycles_by_owner.get("tier:region:1", 0) > 0
+    assert "tier:region:1" not in eager.cycles_by_owner
