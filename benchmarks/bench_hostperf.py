@@ -167,6 +167,10 @@ def main(argv: List[str] = None) -> int:
         "current": current_out,
         "speedup_vs_baseline": speedups(baseline, current_out),
     }
+    if existing.get("trajectory"):
+        # The flight recorder (repro.obs.history) appends trajectory
+        # entries into this same file; keep them across rewrites.
+        payload["trajectory"] = existing["trajectory"]
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True)
                            + "\n")
     print("wrote %s" % args.output)

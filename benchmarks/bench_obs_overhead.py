@@ -1,25 +1,31 @@
-"""Disabled-path overhead gate for the observability layer.
+"""Overhead gates for the observability layer (disabled + sampling).
 
 The obs hooks (repro.obs) ship disabled; their cost while disabled is
 one attribute/global load and branch per hook site, plus the region
 runtime's (deliberately unconditional) entry/cache-hit accounting.
 This script measures that cost **in-process on one machine** -- no
 cross-machine noise -- by timing steady-state runs of the
-bench_hostperf quick workloads twice:
+bench_hostperf quick workloads three ways:
 
-* **shipped** -- the code as committed (observability present, off);
-* **bare**    -- the same run with the region runtime's hot hooks
-  monkeypatched back to guard-free, accounting-free bodies (the
-  pre-observability fast path).
+* **shipped**  -- the code as committed (observability present, off);
+* **bare**     -- the same run with the region runtime's hot hook
+  monkeypatched back to a guard-free, accounting-free body (the
+  pre-observability fast path);
+* **sampling** -- shipped hooks with the metrics registry enabled and
+  a :class:`repro.obs.timeseries.TimeSeriesSampler` installed at its
+  default cadence (the ``obs export`` / ``--metrics-out`` path).
 
-The relative difference is the disabled-path overhead.  CI runs this
-with ``--gate 2`` and fails if shipped is more than 2% slower than
-bare (the ISSUE/paper budget: observability must be free when off).
+The relative differences are the disabled-path and sampling-path
+overheads.  CI runs this with ``--gate 2 --sampling-gate 5`` and fails
+if shipped is more than 2% slower than bare, or sampling more than 5%
+(the ISSUE/paper budget: observability must be free when off and
+cheap when sampling).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
-    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --gate 2
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --gate 2 --sampling-gate 5
 """
 
 from __future__ import annotations
@@ -39,7 +45,10 @@ if not any(Path(p).resolve() == REPO_ROOT / "src"
 from repro.bench.workloads import (  # noqa: E402
     calculator_workload, sparse_matvec_workload,
 )
+from repro.codecache import CacheKey, region_key  # noqa: E402
 from repro.machine.isa import CPOOL  # noqa: E402
+from repro.obs import timeseries as obs_ts  # noqa: E402
+from repro.obs.metrics import registry as obs_registry  # noqa: E402
 from repro.runtime.engine import _RegionRuntime, compile_program  # noqa: E402
 
 #: Same set as bench_hostperf's --quick mode.
@@ -52,15 +61,17 @@ WORKLOADS: List[Tuple[str, Callable]] = [
 
 def _bare_lookup(self, vm, instr):
     """_RegionRuntime.lookup without obs guards or entry accounting
-    (the pre-observability body, for A/B timing only)."""
+    (the pre-observability body, for A/B timing only).  Steady-state
+    runs never miss, so the tier/stitch cold paths are irrelevant."""
     func, region_id = instr.extra
     region = self._regions[(func, region_id)]
-    cached = self.cache.get((func, region_id, self._key(region)))
+    key = CacheKey(func, region_id,
+                   region_key(vm.regs, region.key_count))
+    cached = self.cache.lookup(key)
     if cached is None:
         return 0
-    entry, pool_base = cached
-    vm.regs[CPOOL] = pool_base
-    return entry
+    vm.regs[CPOOL] = cached.pool_base
+    return cached.entry_pc
 
 
 def measure(runs: int) -> Dict[str, Dict[str, float]]:
@@ -70,10 +81,10 @@ def measure(runs: int) -> Dict[str, Dict[str, float]]:
         workload = builder()
         program = compile_program(workload.source, mode="dynamic")
         program.run()  # warm: build VM, load, first stitch
-        # Strictly alternate shipped/bare runs (best-of each) so CPU
-        # frequency drift hits both variants equally; sequential blocks
-        # here showed phantom multi-percent "overheads".
-        shipped = bare = float("inf")
+        # Strictly alternate shipped/bare/sampling runs (best-of each)
+        # so CPU frequency drift hits every variant equally; sequential
+        # blocks here showed phantom multi-percent "overheads".
+        shipped = bare = sampling = float("inf")
         try:
             for _ in range(runs):
                 _RegionRuntime.lookup = shipped_lookup
@@ -84,16 +95,31 @@ def measure(runs: int) -> Dict[str, Dict[str, float]]:
                 t0 = time.perf_counter()
                 program.run()
                 bare = min(bare, time.perf_counter() - t0)
+                _RegionRuntime.lookup = shipped_lookup
+                obs_registry.enable()
+                obs_ts.install(obs_ts.TimeSeriesSampler())
+                t0 = time.perf_counter()
+                program.run()
+                sampling = min(sampling, time.perf_counter() - t0)
+                obs_ts.install(None)
+                obs_registry.reset()
+                obs_registry.disable()
         finally:
             _RegionRuntime.lookup = shipped_lookup
+            obs_ts.install(None)
+            obs_registry.disable()
         overhead = (shipped - bare) / bare * 100.0 if bare > 0 else 0.0
+        s_overhead = (sampling - bare) / bare * 100.0 if bare > 0 else 0.0
         rows[name] = {
             "shipped_s": round(shipped, 6),
             "bare_s": round(bare, 6),
+            "sampling_s": round(sampling, 6),
             "overhead_pct": round(overhead, 3),
+            "sampling_overhead_pct": round(s_overhead, 3),
         }
-        print("%-22s shipped %8.4fs  bare %8.4fs  overhead %+6.2f%%"
-              % (name, shipped, bare, overhead))
+        print("%-22s shipped %8.4fs  bare %8.4fs  sampling %8.4fs  "
+              "overhead %+6.2f%%  sampling %+6.2f%%"
+              % (name, shipped, bare, sampling, overhead, s_overhead))
     return rows
 
 
@@ -105,22 +131,34 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--gate", type=float, default=None, metavar="PCT",
                         help="exit 1 if any workload's disabled-path "
                              "overhead exceeds PCT percent")
+    parser.add_argument("--sampling-gate", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 if any workload's sampling-path "
+                             "overhead exceeds PCT percent")
     parser.add_argument("--json", type=Path, default=None,
                         help="also write the rows to this path")
     args = parser.parse_args(argv)
 
     rows = measure(max(1, args.runs))
     worst = max(row["overhead_pct"] for row in rows.values())
+    worst_sampling = max(row["sampling_overhead_pct"]
+                         for row in rows.values())
     print("worst disabled-path overhead: %+.2f%%" % worst)
+    print("worst sampling-path overhead: %+.2f%%" % worst_sampling)
 
     if args.json:
         args.json.write_text(json.dumps(rows, indent=2, sort_keys=True)
                              + "\n")
+    status = 0
     if args.gate is not None and worst > args.gate:
-        print("FAIL: overhead %.2f%% exceeds gate %.2f%%"
+        print("FAIL: disabled overhead %.2f%% exceeds gate %.2f%%"
               % (worst, args.gate), file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if args.sampling_gate is not None and worst_sampling > args.sampling_gate:
+        print("FAIL: sampling overhead %.2f%% exceeds gate %.2f%%"
+              % (worst_sampling, args.sampling_gate), file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

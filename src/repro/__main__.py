@@ -93,6 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", action="store_true",
                         help="print the obs metrics snapshot after the "
                              "run")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the final metrics snapshot as JSON "
+                             "to PATH (implies metric collection)")
     parser.add_argument("--max-cycles", type=int, default=4_000_000_000)
     return parser
 
@@ -111,7 +114,7 @@ def main(argv: List[str] = None) -> int:
     tracer = obs_trace.Tracer() if args.trace else None
     if tracer is not None:
         obs_trace.install(tracer)
-    if args.metrics:
+    if args.metrics or args.metrics_out:
         obs_metrics.registry.enable()
     try:
         return _run(args, source)
@@ -122,10 +125,18 @@ def main(argv: List[str] = None) -> int:
             print("wrote trace: %s (%d events, %d dropped)"
                   % (args.trace, len(tracer.events), tracer.dropped),
                   file=sys.stderr)
-        if args.metrics:
-            print()
-            print(obs_metrics.format_snapshot(
-                obs_metrics.registry.snapshot()))
+        if args.metrics or args.metrics_out:
+            snap = obs_metrics.registry.snapshot()
+            if args.metrics:
+                print()
+                print(obs_metrics.format_snapshot(snap))
+            if args.metrics_out:
+                import json
+                with open(args.metrics_out, "w") as handle:
+                    json.dump(snap, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                print("wrote metrics: %s" % args.metrics_out,
+                      file=sys.stderr)
             obs_metrics.registry.disable()
 
 

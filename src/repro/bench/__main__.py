@@ -52,6 +52,9 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print the obs metrics snapshot after "
                              "measuring")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the final metrics snapshot as JSON "
+                             "to PATH (implies metric collection)")
     parser.add_argument("--breakeven", action="store_true",
                         help="also print the live per-region break-even "
                              "table (python -m repro.obs report)")
@@ -63,7 +66,7 @@ def main(argv: List[str] = None) -> int:
     tracer = obs_trace.Tracer() if args.trace else None
     if tracer is not None:
         obs_trace.install(tracer)
-    if args.metrics:
+    if args.metrics or args.metrics_out:
         obs_metrics.registry.enable()
 
     costs = FUSED_STITCHER if args.fused else None
@@ -135,9 +138,18 @@ def main(argv: List[str] = None) -> int:
         print("break-even, live per region (Section 5):")
         print()
         print("\n\n".join(breakeven_sections))
-    if args.metrics:
-        print()
-        print(obs_metrics.format_snapshot(obs_metrics.registry.snapshot()))
+    if args.metrics or args.metrics_out:
+        snap = obs_metrics.registry.snapshot()
+        if args.metrics:
+            print()
+            print(obs_metrics.format_snapshot(snap))
+        if args.metrics_out:
+            import json
+            with open(args.metrics_out, "w") as handle:
+                json.dump(snap, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote metrics: %s" % args.metrics_out,
+                  file=sys.stderr)
         obs_metrics.registry.disable()
 
     if args.register_actions:

@@ -113,6 +113,19 @@ class CodeCache:
         #: range but are not cache entries (see :meth:`reserve`).
         self._reserved: List[Tuple[int, int]] = []
         self._reserved_words = 0
+        #: memoized labeled counter children for the hot hit/miss
+        #: sites: one dict probe per lookup instead of label
+        #: resolution (registry.reset() keeps instrument identity,
+        #: so memoized children stay live).
+        self._metric_children: Dict[Tuple[str, str, int], object] = {}
+
+    def _region_counter(self, name: str, key: CacheKey):
+        child = self._metric_children.get((name, key.func, key.region_id))
+        if child is None:
+            child = obs_metrics.counter(name).labels(
+                region="%s:%d" % (key.func, key.region_id))
+            self._metric_children[(name, key.func, key.region_id)] = child
+        return child
 
     # -- the two runtime-service entry points -------------------------------
 
@@ -120,13 +133,14 @@ class CodeCache:
         """The ``region_lookup`` fast path: a live entry or ``None``."""
         self.tick += 1
         entry = self.entries.get(key)
-        region = "%s:%d" % (key.func, key.region_id)
         if entry is None:
             self._misses += 1
             if obs_metrics._enabled:
-                obs_metrics.counter("cache.misses").inc()
+                self._region_counter("cache.misses", key).inc()
             if obs_trace._current is not None:
-                obs_trace.instant("cache.miss", "runtime", region=region,
+                obs_trace.instant("cache.miss", "runtime",
+                                  region="%s:%d" % (key.func,
+                                                    key.region_id),
                                   key=list(key.key))
             return None
         if not self._verify(entry):
@@ -142,19 +156,21 @@ class CodeCache:
                 obs_metrics.counter("retry.checksum").inc()
             if obs_trace._current is not None:
                 obs_trace.instant("cache.checksum_fail", "runtime",
-                                  region=region, key=list(key.key),
-                                  base=entry.base)
+                                  region="%s:%d" % (key.func,
+                                                    key.region_id),
+                                  key=list(key.key), base=entry.base)
             self._misses += 1
             if obs_metrics._enabled:
-                obs_metrics.counter("cache.misses").inc()
+                self._region_counter("cache.misses", key).inc()
             self._update_gauges()
             return None
         self._hits += 1
         self.policy.on_hit(entry, self.tick)
         if obs_metrics._enabled:
-            obs_metrics.counter("cache.hits").inc()
+            self._region_counter("cache.hits", key).inc()
         if obs_trace._current is not None:
-            obs_trace.instant("cache.hit", "runtime", region=region,
+            obs_trace.instant("cache.hit", "runtime",
+                              region="%s:%d" % (key.func, key.region_id),
                               key=list(key.key), entry=entry.entry_pc)
         return entry
 
@@ -257,7 +273,9 @@ class CodeCache:
         self._release(entry)
         self._evictions += 1
         if obs_metrics._enabled:
-            obs_metrics.counter("cache.evictions").inc()
+            obs_metrics.counter("cache.evictions").labels(
+                region="%s:%d" % (entry.key.func, entry.key.region_id),
+                policy=self.policy.name).inc()
         if obs_trace._current is not None:
             obs_trace.instant(
                 "cache.evict", "runtime",

@@ -153,7 +153,7 @@ class FaultPlan:
             return False
         self.counts[site] = self.counts.get(site, 0) + 1
         if obs_metrics._enabled:
-            obs_metrics.counter("fault.injected").inc()
+            obs_metrics.counter("fault.injected").labels(site=site).inc()
             obs_metrics.counter("fault.injected.%s" % site).inc()
         if obs_trace._current is not None:
             obs_trace.instant("fault.inject", "faults", site=site,

@@ -35,6 +35,7 @@ from .runtime.tiering import TierPolicy
 from .testing.ablate import (
     format_reproducer, localize_divergence, shrink_program,
 )
+from .obs import health as obs_health
 from .testing.genprog import generate_program
 from .testing.oracle import run_oracle
 
@@ -76,11 +77,44 @@ def random_tier_policy(seed: int, iteration: int) -> Optional[str]:
     return spec
 
 
+def health_flags(report, faults_configured: bool) -> List[str]:
+    """Cross-check one oracle report against the obs health rules.
+
+    Two anomalies are worth surfacing:
+
+    * the report *diverged* yet every dynamic leg's health report is
+      green -- the rule set is blind to a real correctness failure
+      ("green but diverged"); and
+    * the report *agreed* with no faults configured, yet health rules
+      fired anyway -- the run degraded (fallbacks, breaker trips,
+      demotions) without changing observables ("silent degradation").
+
+    Returns human-readable flag strings (empty when nothing anomalous).
+    Only legs that carried a ``run_result`` (the VM legs) are checked.
+    """
+    flags: List[str] = []
+    for leg in sorted(report.outcomes):
+        outcome = report.outcomes[leg]
+        result = getattr(outcome, "run_result", None)
+        if result is None:
+            continue
+        health = obs_health.evaluate_result(result)
+        if not report.ok and not report.compile_error and health.ok:
+            flags.append("%s leg diverged yet health is green "
+                         "(rules are blind to this failure)" % leg)
+        elif report.ok and not faults_configured and not health.ok:
+            fired = "; ".join(r.rule.describe() for r in health.fired)
+            flags.append("%s leg agreed yet health fired [%s] "
+                         "(silent degradation)" % (leg, fired))
+    return flags
+
+
 def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
              max_cycles: int = 200_000_000,
              cache_config: Optional[CacheConfig] = None,
              faults: Optional[str] = None,
-             tier: Optional[str] = None):
+             tier: Optional[str] = None,
+             health_log: Optional[List[str]] = None):
     """Generate and check one program.
 
     Returns ``(program, bad_report, annotation_rejected)``:
@@ -92,6 +126,9 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     ``cache_config``, ``faults`` (a fault-injection spec, see
     :meth:`FaultPlan.parse`) and ``tier`` (a tiering spec, see
     :meth:`TierPolicy.parse`) apply to the oracle's dynamic legs.
+    When ``health_log`` is given, every oracle report is additionally
+    cross-checked via :func:`health_flags` and anomaly strings are
+    appended to it.
     """
     program = generate_program(seed * 1_000_003 + iteration,
                                max_stmts=max_stmts)
@@ -102,6 +139,10 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
                             cache_config=cache_config, faults=faults,
                             tier=tier)
         rejected = rejected or report.annotation_reject
+        if health_log is not None and not report.compile_error:
+            for flag in health_flags(report, bool(faults)):
+                health_log.append("iter %d arg %d: %s"
+                                  % (iteration, arg, flag))
         if report.compile_error:
             return program, report, rejected
         if not report.ok:
@@ -236,6 +277,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     divergences = 0
     compile_errors = 0
     annotation_rejects = 0
+    health_log: List[str] = []
+    health_printed = 0
     # Ring tracer: cheap enough to leave on, and on a divergence the
     # last N compile/stitch events become part of the reproducer.
     tracer = (obs_trace.Tracer(max_events=args.trace_tail, ring=True)
@@ -261,10 +304,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         program, bad, rejected = fuzz_one(
             args.seed, i, max_stmts=args.max_stmts,
             max_cycles=args.max_cycles, cache_config=cache_config,
-            faults=args.faults, tier=tier_spec)
+            faults=args.faults, tier=tier_spec,
+            health_log=health_log)
         # Snapshot the tail now, before ablation/shrinking reruns
         # overwrite the ring with events from other programs.
         trace_tail = list(tracer.events) if tracer is not None else []
+        while health_printed < len(health_log):
+            print("health flag: %s" % health_log[health_printed],
+                  file=sys.stderr)
+            health_printed += 1
         if rejected:
             annotation_rejects += 1
         for feature in program.features:
@@ -385,9 +433,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elapsed = time.time() - started
     print("-" * 70)
     print("fuzz: %d programs, %d divergences, %d invalid, "
-          "%d annotation-rejected, %.1fs (seed %d%s)"
+          "%d annotation-rejected, %d health flags, %.1fs (seed %d%s)"
           % (args.iters, divergences, compile_errors,
-             annotation_rejects, elapsed, args.seed,
+             annotation_rejects, len(health_log), elapsed, args.seed,
              ", faults=%s" % args.faults if args.faults else ""))
     if args.stats and feature_counts:
         print("feature coverage:")

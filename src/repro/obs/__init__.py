@@ -8,6 +8,15 @@ Three layers, all zero-dependency and all disabled (free) by default:
   instants) emitting JSONL and Chrome trace-event JSON, loadable in
   Perfetto / speedscope, with hook sites across frontend, optimizer,
   analyses, splitter, codegen, stitcher and the region runtime;
+* :mod:`repro.obs.timeseries` -- a deterministic sampler snapshotting
+  every instrument into fixed-capacity ring buffers on logical clocks
+  (region entries / simulated cycles), deriving rates and ratios;
+* :mod:`repro.obs.export` -- OpenMetrics text exposition, JSON series
+  dumps, and Perfetto counter tracks in the Chrome trace stream;
+* :mod:`repro.obs.health` -- declarative rules over metric values
+  producing a structured :class:`HealthReport`;
+* :mod:`repro.obs.history` -- the perf-trajectory flight recorder
+  (``BENCH_<name>.json`` entries + best-of-last-N regression gates);
 * :mod:`repro.obs.profiler` / :mod:`repro.obs.breakeven` -- post-run
   views over the VM's per-owner counter cells: simulated-cycle
   profiles and the paper's Table 2 break-even economics per region.
@@ -15,7 +24,10 @@ Three layers, all zero-dependency and all disabled (free) by default:
 CLI: ``python -m repro.obs report`` (break-even tables over the bench
 workloads), ``python -m repro.obs trace`` (run a program or workload
 with tracing and dump the trace), ``python -m repro.obs validate``
-(schema-check a trace file -- what CI's trace-smoke job runs).
+(schema-check a trace file -- what CI's trace-smoke job runs),
+``python -m repro.obs export`` (OpenMetrics / JSON series dumps),
+``python -m repro.obs health`` (rule evaluation over a run), and
+``python -m repro.obs record`` / ``compare`` (perf trajectory).
 
 Contract: enabling any of it never changes simulated observables
 (cycles, stitch reports, output); tests/test_obs_parity.py pins this.
@@ -31,6 +43,7 @@ import sys
 from contextlib import contextmanager
 
 from .metrics import MetricsRegistry, format_snapshot, registry
+from .timeseries import TimeSeriesSampler, sampling
 from .trace import (
     Tracer, current, install, instant, span, tracing, validate_events,
 )
@@ -77,6 +90,7 @@ def observing(trace_path=None, metrics=False, out=None):
 
 __all__ = [
     "MetricsRegistry",
+    "TimeSeriesSampler",
     "Tracer",
     "current",
     "disable_metrics",
@@ -86,6 +100,7 @@ __all__ = [
     "instant",
     "observing",
     "registry",
+    "sampling",
     "span",
     "tracing",
     "validate_events",

@@ -1,4 +1,4 @@
-"""Observability CLI: break-even reports, traces, profiles.
+"""Observability CLI: break-even reports, traces, profiles, telemetry.
 
 Usage::
 
@@ -8,6 +8,11 @@ Usage::
     python -m repro.obs trace program.c --format jsonl --out trace.jsonl
     python -m repro.obs profile --workload "sparse"
     python -m repro.obs validate trace.json        # schema check (CI)
+    python -m repro.obs export --workload calculator \\
+        --openmetrics metrics.prom --series series.json
+    python -m repro.obs health --workload calculator --faults all:0.1
+    python -m repro.obs record cachepressure tiering
+    python -m repro.obs compare --run cachepressure
 """
 
 from __future__ import annotations
@@ -15,9 +20,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from . import metrics, trace
+from . import export as export_mod
+from . import health as health_mod
+from . import history as history_mod
+from . import metrics, timeseries, trace
 from .breakeven import break_even_workload, rows_from_results
 from .profiler import format_profile, profile_result
 
@@ -87,9 +96,22 @@ def _compile_and_run(args):
         with open(args.source) as handle:
             source = handle.read()
         run_args = args.args
-    program = compile_program(source, mode=args.mode)
+    fault_plan = None
+    if getattr(args, "faults", None):
+        from ..faults.plan import FaultPlan
+        fault_plan = FaultPlan.parse(args.faults)
+    program = compile_program(source, mode=args.mode,
+                              fault_plan=fault_plan,
+                              tier=getattr(args, "tier", None))
     result = program.run(args=run_args, max_cycles=args.max_cycles)
     return program, result
+
+
+def _make_sampler(args) -> timeseries.TimeSeriesSampler:
+    return timeseries.TimeSeriesSampler(
+        every_entries=args.sample_entries,
+        every_cycles=args.sample_cycles,
+        capacity=args.sample_capacity)
 
 
 def _cmd_trace(args) -> int:
@@ -162,6 +184,146 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    """Run with metrics + sampling on; write OpenMetrics text and/or
+    the JSON series dump (and optionally the Chrome trace with the
+    Perfetto counter tracks riding in it)."""
+    tracer = trace.Tracer() if args.trace else None
+    sampler = _make_sampler(args)
+    metrics.registry.reset()
+    metrics.registry.enable()
+    try:
+        with timeseries.sampling(sampler):
+            if tracer is not None:
+                with trace.tracing(tracer):
+                    _, result = _compile_and_run(args)
+            else:
+                _, result = _compile_and_run(args)
+    finally:
+        metrics.registry.disable()
+    snap = metrics.registry.snapshot()
+    print("ran: value=%s cycles=%d; %d samples over %d entries"
+          % (result.value, result.cycles, sampler.samples,
+             sampler.entries))
+    exclude = tuple(args.exclude or ())
+    if args.openmetrics:
+        export_mod.write_openmetrics(args.openmetrics, snap,
+                                     exclude=exclude)
+        print("wrote %s" % args.openmetrics)
+    if args.series:
+        export_mod.write_series_json(args.series, sampler, snapshot=snap)
+        print("wrote %s" % args.series)
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print("wrote %s (%d events)" % (args.trace, len(tracer.events)))
+    if not (args.openmetrics or args.series or args.trace):
+        sys.stdout.write(export_mod.to_openmetrics(snap, exclude=exclude))
+    return 0
+
+
+def _cmd_health(args) -> int:
+    """Run a program/workload (optionally under faults or a tiering
+    policy), evaluate the health rules, and print the report."""
+    if args.rules:
+        with open(args.rules) as handle:
+            rules = health_mod.parse_rules(handle.read())
+        if not rules:
+            print("no rules in %s" % args.rules, file=sys.stderr)
+            return 2
+    else:
+        rules = list(health_mod.DEFAULT_RULES)
+    tracer = trace.Tracer() if args.trace else None
+    sampler = _make_sampler(args)
+    metrics.registry.reset()
+    metrics.registry.enable()
+    try:
+        with timeseries.sampling(sampler):
+            if tracer is not None:
+                with trace.tracing(tracer):
+                    _, result = _compile_and_run(args)
+            else:
+                _, result = _compile_and_run(args)
+    finally:
+        metrics.registry.disable()
+    values = health_mod.flatten_snapshot(metrics.registry.snapshot())
+    report = health_mod.evaluate(values, rules, cycles=result.cycles)
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print("wrote %s (%d events)" % (args.trace, len(tracer.events)),
+              file=sys.stderr)
+    if args.json:
+        document = report.to_dict()
+        document["value"] = result.value
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json, file=sys.stderr)
+    print(health_mod.format_report(report))
+    if args.expect_firing and not report.fired:
+        print("expected at least one firing rule, got none",
+              file=sys.stderr)
+        return 1
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_record(args) -> int:
+    directory = Path(args.dir) if args.dir else None
+    for benchmark in args.benchmarks:
+        print("recording %s ..." % benchmark, file=sys.stderr)
+        try:
+            path = history_mod.record(benchmark, directory=directory,
+                                      quick=not args.full, note=args.note)
+        except history_mod.HistoryError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        entries = len(history_mod.load_trajectory(path))
+        print("%s: %d trajectory entries -> %s"
+              % (benchmark, entries, path))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    directory = Path(args.dir) if args.dir else None
+    benchmarks = args.benchmarks
+    if not benchmarks:
+        base = directory if directory is not None \
+            else history_mod.default_dir()
+        benchmarks = [b for b in history_mod.BENCHMARKS
+                      if (Path(base) / ("BENCH_%s.json" % b)).exists()]
+        if not benchmarks:
+            print("no trajectory files under %s -- run "
+                  "`python -m repro.obs record` first" % base,
+                  file=sys.stderr)
+            return 2
+    failed = False
+    documents = {}
+    for benchmark in benchmarks:
+        candidate = None
+        if args.run:
+            print("collecting %s ..." % benchmark, file=sys.stderr)
+            candidate = history_mod.collect(benchmark,
+                                            quick=not args.full)
+        try:
+            comparison = history_mod.compare(
+                benchmark, directory=directory, candidate_rows=candidate,
+                window=args.window, max_regression=args.max_regression,
+                include_host=args.include_host)
+        except history_mod.HistoryError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        documents[benchmark] = comparison.to_dict()
+        print(history_mod.format_comparison(comparison))
+        failed = failed or not comparison.ok
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(documents, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json, file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("source", nargs="?", default=None,
                         help="MiniC source file (or use --workload)")
@@ -172,6 +334,22 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--args", nargs="*", type=int, default=[],
                         help="integer arguments for main()")
     parser.add_argument("--max-cycles", type=int, default=4_000_000_000)
+    parser.add_argument("--faults", default=None,
+                        help="fault-plan spec (SITE:PROB|all:PROB[@SEED])")
+    parser.add_argument("--tier", default=None,
+                        help="tiering policy spec (e.g. breakeven, "
+                             "threshold:3)")
+
+
+def _add_sampler_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sample-entries", type=int,
+                        default=timeseries.DEFAULT_EVERY_ENTRIES,
+                        help="sample every N region entries")
+    parser.add_argument("--sample-cycles", type=int, default=None,
+                        help="also sample every M simulated cycles")
+    parser.add_argument("--sample-capacity", type=int,
+                        default=timeseries.DEFAULT_CAPACITY,
+                        help="ring-buffer capacity per series")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -215,6 +393,80 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate", help="schema-check a trace file (chrome or jsonl)")
     validate.add_argument("trace_file")
     validate.set_defaults(func=_cmd_validate)
+
+    export_cmd = sub.add_parser(
+        "export", help="run with metrics + sampling and export "
+                       "OpenMetrics text / JSON series / a counter-"
+                       "track trace")
+    _add_run_arguments(export_cmd)
+    _add_sampler_arguments(export_cmd)
+    export_cmd.add_argument("--openmetrics", default=None,
+                            help="write OpenMetrics exposition here")
+    export_cmd.add_argument("--series", default=None,
+                            help="write the JSON series dump here")
+    export_cmd.add_argument("--trace", default=None,
+                            help="write a Chrome trace (with Perfetto "
+                                 "counter tracks) here")
+    export_cmd.add_argument("--exclude", nargs="*", default=None,
+                            help="metric names to omit (e.g. the "
+                                 "nondeterministic stitch.host_seconds)")
+    export_cmd.set_defaults(func=_cmd_export)
+
+    health = sub.add_parser(
+        "health", help="run and evaluate declarative health rules "
+                       "into a structured report")
+    _add_run_arguments(health)
+    _add_sampler_arguments(health)
+    health.add_argument("--rules", default=None,
+                        help="rule file (one rule per line; default: "
+                             "the built-in rule set)")
+    health.add_argument("--json", default=None,
+                        help="also write the HealthReport as JSON")
+    health.add_argument("--trace", default=None,
+                        help="also write a Chrome trace of the run")
+    health.add_argument("--strict", action="store_true",
+                        help="exit 1 unless the report is fully green")
+    health.add_argument("--expect-firing", action="store_true",
+                        help="exit 1 unless at least one rule fired "
+                             "(CI chaos smoke)")
+    health.set_defaults(func=_cmd_health)
+
+    record = sub.add_parser(
+        "record", help="run benchmarks and append entries to their "
+                       "BENCH_<name>.json trajectories")
+    record.add_argument("benchmarks", nargs="+",
+                        choices=list(history_mod.BENCHMARKS))
+    record.add_argument("--full", action="store_true",
+                        help="full workload set (hostperf) instead of "
+                             "the quick pair")
+    record.add_argument("--note", default="",
+                        help="free-form note stored in the entry")
+    record.add_argument("--dir", default=None,
+                        help="trajectory directory (default: repo root)")
+    record.set_defaults(func=_cmd_record)
+
+    compare = sub.add_parser(
+        "compare", help="gate the latest (or a freshly collected) "
+                        "entry against best-of-last-N")
+    compare.add_argument("benchmarks", nargs="*",
+                         help="benchmarks to compare (default: all "
+                              "with trajectory files)")
+    compare.add_argument("--run", action="store_true",
+                         help="collect a fresh candidate instead of "
+                              "using the last committed entry")
+    compare.add_argument("--full", action="store_true")
+    compare.add_argument("--window", type=int,
+                         default=history_mod.DEFAULT_WINDOW)
+    compare.add_argument("--max-regression", type=float,
+                         default=history_mod.DEFAULT_MAX_REGRESSION,
+                         help="fail when a gated metric is more than "
+                              "this %% worse than the window best")
+    compare.add_argument("--include-host", action="store_true",
+                         help="also gate host wall-clock metrics "
+                              "(same-machine comparisons only)")
+    compare.add_argument("--json", default=None)
+    compare.add_argument("--dir", default=None)
+    compare.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
     return args.func(args)

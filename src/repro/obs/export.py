@@ -1,0 +1,219 @@
+"""Exporters for metrics snapshots and sampled time series.
+
+Three output formats:
+
+* **OpenMetrics / Prometheus text exposition** -- ``to_openmetrics``
+  renders a registry snapshot as the standard scrape format (``# TYPE``
+  / ``# HELP`` comment lines, ``_total`` counter samples, cumulative
+  ``le`` histogram buckets, ``# EOF`` terminator).  Instrument names
+  are sanitized (``.`` and ``-`` become ``_``); labeled children
+  become labeled series, and for counters the unlabeled remainder
+  (parent total minus the labeled children) is emitted only when
+  nonzero so totals stay additive.
+* **JSON series dump** -- ``series_document`` wraps a
+  :class:`~repro.obs.timeseries.TimeSeriesSampler`'s rings, derived
+  rates and an optional final snapshot into one JSON document.
+* **Perfetto counter tracks** ride in the Chrome trace stream itself
+  (``Tracer.counter`` / the sampler) -- no separate writer needed.
+
+A small :func:`parse_openmetrics` parser backs the golden test and lets
+scripts round-trip the exposition without a Prometheus dependency.
+
+Everything here is deterministic: names and label sets sort
+lexicographically, and nondeterministic instruments (host timings) can
+be excluded by name.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """A metric name in OpenMetrics' ``[a-zA-Z0-9_:]`` alphabet."""
+    return _NAME_SANITIZE.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (sanitize_name(k), _escape_label(str(v)))
+        for k, v in sorted(labels.items()))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "0"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, data: Dict[str, object],
+                     labels: Dict[str, str]) -> List[str]:
+    lines = []
+    cumulative = 0
+    for le_key, count in data["buckets"].items():  # insertion == bound order
+        bound = le_key[len("le_"):]
+        cumulative += count
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = bound
+        lines.append("%s_bucket%s %d"
+                     % (name, _render_labels(bucket_labels), cumulative))
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append("%s_bucket%s %d"
+                 % (name, _render_labels(inf_labels), data["count"]))
+    lines.append("%s_sum%s %s" % (name, _render_labels(labels),
+                                  _fmt(data["sum"])))
+    lines.append("%s_count%s %d" % (name, _render_labels(labels),
+                                    data["count"]))
+    return lines
+
+
+def to_openmetrics(snap: Dict[str, Dict[str, object]],
+                   exclude: Sequence[str] = ()) -> str:
+    """Render a registry snapshot as OpenMetrics text exposition."""
+    skip = frozenset(exclude)
+    lines: List[str] = []
+    for raw_name in sorted(snap):
+        if raw_name in skip:
+            continue
+        data = snap[raw_name]
+        name = sanitize_name(raw_name)
+        kind = data["type"]
+        lines.append("# TYPE %s %s" % (name, kind))
+        series = data.get("series")
+        if kind == "counter":
+            sample_name = name + "_total"
+            if series:
+                labeled_total = 0
+                for child in series:
+                    labeled_total += child["value"]
+                    lines.append("%s%s %s"
+                                 % (sample_name,
+                                    _render_labels(child["labels"]),
+                                    _fmt(child["value"])))
+                remainder = data["value"] - labeled_total
+                if remainder:
+                    lines.append("%s %s" % (sample_name, _fmt(remainder)))
+            else:
+                lines.append("%s %s" % (sample_name, _fmt(data["value"])))
+        elif kind == "gauge":
+            lines.append("%s %s" % (name, _fmt(data["value"])))
+            if series:
+                for child in series:
+                    lines.append("%s%s %s"
+                                 % (name, _render_labels(child["labels"]),
+                                    _fmt(child["value"])))
+        else:  # histogram
+            if series:
+                for child in series:
+                    lines.extend(_histogram_lines(name, child,
+                                                  child["labels"]))
+            else:
+                lines.extend(_histogram_lines(name, data, {}))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str, snap: Dict[str, Dict[str, object]],
+                      exclude: Sequence[str] = ()) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_openmetrics(snap, exclude=exclude))
+
+
+# -- parsing (golden test / script round-trips) ----------------------------
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)$')
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+                       r'"(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def parse_openmetrics(text: str) -> Dict[str, object]:
+    """Parse OpenMetrics exposition text.
+
+    Returns ``{"types": {name: type}, "samples": [(name, labels,
+    value), ...]}``; raises :class:`ValueError` on malformed lines or
+    a missing ``# EOF`` terminator.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if saw_eof:
+            raise ValueError("line %d: content after # EOF" % lineno)
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if parts[:2] == ["#", "EOF"]:
+                saw_eof = True
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                pass
+            else:
+                raise ValueError("line %d: bad comment %r" % (lineno, line))
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError("line %d: bad sample %r" % (lineno, line))
+        labels: Dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(raw):
+                labels[pair.group("key")] = (
+                    pair.group("value").replace('\\"', '"')
+                                       .replace("\\n", "\n")
+                                       .replace("\\\\", "\\"))
+                consumed += 1
+            if consumed != len(raw.split(",")):
+                raise ValueError("line %d: bad labels %r" % (lineno, raw))
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError("line %d: bad value %r"
+                             % (lineno, match.group("value")))
+        samples.append((match.group("name"), labels, value))
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return {"types": types, "samples": samples}
+
+
+# -- JSON series dump ------------------------------------------------------
+
+def series_document(sampler,
+                    snapshot: Optional[Dict[str, object]] = None
+                    ) -> Dict[str, object]:
+    """The sampler's rings + derived rates (+ an optional final
+    registry snapshot) as one JSON-serializable document."""
+    document = sampler.to_json()
+    if snapshot is not None:
+        document["snapshot"] = snapshot
+    return document
+
+
+def write_series_json(path: str, sampler,
+                      snapshot: Optional[Dict[str, object]] = None) -> None:
+    with open(path, "w") as handle:
+        json.dump(series_document(sampler, snapshot), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")

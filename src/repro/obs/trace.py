@@ -1,8 +1,10 @@
 """Structured event tracing for the compile -> stitch -> execute pipeline.
 
 The tracer records *events* -- complete spans (``ph: "X"``, with host
-wall-clock duration) and instants (``ph: "i"``) -- in the Chrome
-trace-event format, so a dump loads directly into Perfetto
+wall-clock duration), instants (``ph: "i"``) and counter samples
+(``ph: "C"``, Perfetto counter tracks emitted by the time-series
+sampler) -- in the Chrome trace-event format, so a dump loads
+directly into Perfetto
 (ui.perfetto.dev), chrome://tracing or speedscope.  Two serializations:
 
 * **JSONL** -- one event object per line (stream-friendly; what the
@@ -17,8 +19,9 @@ field     meaning
 ``name``  event name, dot-separated (``stitch.region``, ``opt.pass``)
 ``cat``   category: ``frontend`` | ``opt`` | ``analysis`` |
           ``split`` | ``codegen`` | ``stitch`` | ``runtime`` |
-          ``vm`` | ``bench``
-``ph``    ``"X"`` (complete span) or ``"i"`` (instant)
+          ``vm`` | ``bench`` | ``telemetry``
+``ph``    ``"X"`` (complete span), ``"i"`` (instant) or ``"C"``
+          (counter sample; ``args`` values must be numbers)
 ``ts``    microseconds since the tracer was created (host clock)
 ``dur``   span duration in microseconds (``X`` only, >= 0)
 ``pid``   always 0 (one simulated process)
@@ -55,10 +58,11 @@ from typing import Dict, Iterable, List, Optional
 
 VALID_CATEGORIES = frozenset([
     "frontend", "opt", "analysis", "split", "codegen", "stitch",
-    "runtime", "vm", "bench", "fuzz",
+    "runtime", "vm", "bench", "fuzz", "faults", "robustness",
+    "telemetry",
 ])
 
-VALID_PHASES = frozenset(["X", "i"])
+VALID_PHASES = frozenset(["X", "i", "C"])
 
 
 class Tracer:
@@ -95,6 +99,13 @@ class Tracer:
         self._append({"name": name, "cat": cat, "ph": "i",
                       "ts": self._now_us(), "pid": 0, "tid": 0,
                       "s": "t", "args": args})
+
+    def counter(self, name: str, cat: str = "telemetry", **values) -> None:
+        """Record a Perfetto counter sample; each kwarg becomes one
+        track under the counter's name."""
+        self._append({"name": name, "cat": cat, "ph": "C",
+                      "ts": self._now_us(), "pid": 0, "tid": 0,
+                      "args": values})
 
     @contextmanager
     def span(self, name: str, cat: str, **args):
@@ -237,6 +248,15 @@ def validate_events(events: Iterable[dict]) -> List[str]:
                 errors.append("%s: bad dur %r" % (where, dur))
         if phase == "i" and event.get("s") not in ("t", "p", "g"):
             errors.append("%s: instant missing scope" % where)
+        if phase == "C":
+            values = event.get("args")
+            if isinstance(values, dict):
+                for key, value in values.items():
+                    if not isinstance(value, (int, float)) \
+                            or isinstance(value, bool):
+                        errors.append(
+                            "%s: counter arg %r not a number (%r)"
+                            % (where, key, value))
         for field in ("pid", "tid"):
             if not isinstance(event.get(field), int):
                 errors.append("%s: bad %s" % (where, field))

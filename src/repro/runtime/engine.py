@@ -41,6 +41,7 @@ from ..machine.costs import StitcherCosts
 from ..machine.isa import ARG_BASE, CPOOL, MInstr
 from ..machine.loader import load_program
 from ..machine.vm import VM, VMError
+from ..obs import timeseries as obs_ts
 from ..obs import trace as obs_trace
 from ..obs.metrics import registry as obs_metrics
 from ..opt.pipeline import OptOptions, OptStats, optimize
@@ -273,9 +274,18 @@ class Program:
                 span["value"] = int_result
                 span["stitches"] = len(runtime.reports)
                 span["cache_hits"] = len(runtime.cache_hits)
+        sampler = obs_ts._current
+        if sampler is not None:
+            # Force a final sample so short runs (fewer entries than
+            # one sampler period) still record a point.
+            sampler.sample(vm.cycles)
         if obs_metrics._enabled:
             obs_metrics.counter("vm.runs").inc()
             obs_metrics.counter("vm.cycles").inc(vm.cycles)
+            owner_cycles = obs_metrics.counter("vm.owner_cycles")
+            for owner, cycles in vm.cycles_by_owner.items():
+                owner_cycles.labels(
+                    owner=owner.split(":", 1)[0]).inc(cycles)
         fault_counts: Dict[str, int] = {}
         if faults is not None:
             for site, count in faults.counts.items():
@@ -335,6 +345,11 @@ class _RegionRuntime:
         self.fallback_codes: Dict[Tuple[str, int], FallbackCode] = {}
         #: per-region circuit breakers (created on first stitch).
         self.breakers: Dict[Tuple[str, int], RegionBreaker] = {}
+        #: memoized region.entries counter children, so the hot lookup
+        #: path pays one dict probe instead of label resolution per
+        #: entry while metrics are enabled (registry.reset() keeps
+        #: instrument identity, so memoized children stay live).
+        self._entry_counters: Dict[Tuple[str, int], object] = {}
         self._regions: Dict[Tuple[str, int], RegionCode] = {}
         for function in program.compiled.values():
             for region in function.regions:
@@ -354,6 +369,16 @@ class _RegionRuntime:
                        region_key(vm.regs, region.key_count))
         entries = self.entries
         entries[key.region] = entries.get(key.region, 0) + 1
+        sampler = obs_ts._current
+        if sampler is not None:
+            sampler.on_entry(vm)
+        if obs_metrics._enabled:
+            child = self._entry_counters.get((func, region_id))
+            if child is None:
+                child = obs_metrics.counter("region.entries").labels(
+                    region="%s:%d" % (func, region_id))
+                self._entry_counters[(func, region_id)] = child
+            child.inc()
         tier = self.tier
         if tier is not None:
             tier.on_entry(func, region_id, key.key)
@@ -422,14 +447,17 @@ class _RegionRuntime:
         report = entry.report
         self.reports.append(report)
         if obs_metrics._enabled:
-            obs_metrics.counter("stitch.count").inc()
+            region_label = "%s:%d" % (func, region_id)
+            obs_metrics.counter("stitch.count").labels(
+                region=region_label).inc()
             obs_metrics.counter("stitch.instrs_emitted").inc(
                 report.instrs_emitted)
             obs_metrics.counter("stitch.holes_patched").inc(
                 report.holes_patched)
             obs_metrics.counter("stitch.pool_entries").inc(
                 report.pool_entries)
-            obs_metrics.histogram("stitch.cycles").observe(report.cycles)
+            obs_metrics.histogram("stitch.cycles").labels(
+                region=region_label).observe(report.cycles)
             obs_metrics.histogram("stitch.host_seconds").observe(
                 time.perf_counter() - host_start)
         vm.regs[CPOOL] = report.pool_base
@@ -477,7 +505,8 @@ class _RegionRuntime:
             FallbackEvent(func, region_id, key, reason, injected,
                           fb.entry))
         if obs_metrics._enabled:
-            obs_metrics.counter("fallback.count").inc()
+            obs_metrics.counter("fallback.count").labels(
+                region="%s:%d" % (func, region_id), reason=reason).inc()
             obs_metrics.counter("fallback.%s" % reason).inc()
         if obs_trace._current is not None:
             obs_trace.instant("region.fallback", "runtime",

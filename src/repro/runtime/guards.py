@@ -98,7 +98,8 @@ class RegionBreaker:
             self.cooldown = self.config.backoff * (1 << (self._streak_trips - 1))
             self.consecutive = 0
             if obs_metrics._enabled:
-                obs_metrics.counter("breaker.trips").inc()
+                obs_metrics.counter("breaker.trips").labels(
+                    region="%s:%d" % (self.func, self.region_id)).inc()
             obs_trace.instant("breaker.trip", "robustness", func=self.func,
                               region=self.region_id, cooldown=self.cooldown,
                               streak=self._streak_trips)
@@ -109,7 +110,8 @@ class RegionBreaker:
             self._streak_trips = 0
             self.resets += 1
             if obs_metrics._enabled:
-                obs_metrics.counter("breaker.resets").inc()
+                obs_metrics.counter("breaker.resets").labels(
+                    region="%s:%d" % (self.func, self.region_id)).inc()
             obs_trace.instant("breaker.reset", "robustness", func=self.func,
                               region=self.region_id)
 

@@ -397,7 +397,8 @@ class TierController:
         state.cold_entries += 1
         state.pending = key
         if obs_metrics._enabled:
-            obs_metrics.counter("tier.cold").inc()
+            obs_metrics.counter("tier.cold").labels(
+                region="%s:%d" % region, tier=self.policy.mode).inc()
         if obs_trace._current is not None:
             obs_trace.instant("tier.cold", "runtime",
                               region="%s:%d" % region, key=list(key),
@@ -413,7 +414,8 @@ class TierController:
         if key in state.promoted or key in state.marks:
             state.demotions += 1
             if obs_metrics._enabled:
-                obs_metrics.counter("tier.demotions").inc()
+                obs_metrics.counter("tier.demotions").labels(
+                    region="%s:%d" % region, tier=self.policy.mode).inc()
             if obs_trace._current is not None:
                 obs_trace.instant("tier.demote", "runtime",
                                   region="%s:%d" % region, key=list(key))
@@ -437,7 +439,8 @@ class TierController:
         count = state.counts.get(key, 0)
         entry.hotness = count
         if obs_metrics._enabled:
-            obs_metrics.counter("tier.promotions").inc()
+            obs_metrics.counter("tier.promotions").labels(
+                region="%s:%d" % region, tier=self.policy.mode).inc()
             if speculative:
                 obs_metrics.counter("tier.speculative_promotions").inc()
         if obs_trace._current is not None:

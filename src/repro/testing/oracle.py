@@ -71,6 +71,10 @@ class OracleOutcome:
     output: List[Number] = field(default_factory=list)
     globals: Dict[str, List[Number]] = field(default_factory=dict)
     error: str = ""
+    #: the leg's last RunResult (VM legs only) -- host-side telemetry
+    #: for the fuzzer's health checks.  Never part of observables().
+    run_result: Optional[object] = field(default=None, repr=False,
+                                         compare=False)
 
     def observables(self) -> Tuple:
         if self.status != "ok":
@@ -203,7 +207,8 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
         invariant_failures = check_stitch_invariants(program, result)
     return (OracleOutcome(leg, "ok", value=result.value,
                           output=list(result.output),
-                          globals=_vm_globals(program)),
+                          globals=_vm_globals(program),
+                          run_result=result),
             program, invariant_failures)
 
 

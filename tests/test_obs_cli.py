@@ -117,6 +117,105 @@ def test_main_cli_trace_flag(tmp_path, source_file):
     assert document["traceEvents"]
 
 
+def test_export_subcommand_writes_all_formats(tmp_path, source_file,
+                                              capsys):
+    om = tmp_path / "metrics.prom"
+    series = tmp_path / "series.json"
+    trace_path = tmp_path / "trace.json"
+    code = obs_main(["export", source_file, "--sample-entries", "2",
+                     "--openmetrics", str(om), "--series", str(series),
+                     "--trace", str(trace_path),
+                     "--exclude", "stitch.host_seconds"])
+    assert code == 0
+    from repro.obs.export import parse_openmetrics
+    parsed = parse_openmetrics(om.read_text())
+    assert any(name.startswith("region_entries")
+               for name, _labels, _v in parsed["samples"])
+    document = json.loads(series.read_text())
+    assert document["schema"] == 1 and document["series"]
+    assert obs_main(["validate", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "samples over" in out
+
+
+def test_export_subcommand_stdout_default(source_file, capsys):
+    assert obs_main(["export", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE" in out and "# EOF" in out
+
+
+def test_health_subcommand_fires_under_faults(tmp_path, source_file,
+                                              capsys):
+    json_path = tmp_path / "health.json"
+    code = obs_main(["health", source_file, "--faults", "all:0.2@7",
+                     "--expect-firing", "--json", str(json_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "health:" in out
+    document = json.loads(json_path.read_text())
+    assert document["status"] in ("warn", "fail")
+    assert document["fired"] >= 1
+    assert any(r["fired"] for r in document["rules"])
+
+
+def test_health_subcommand_green_run_and_strict(source_file, capsys):
+    assert obs_main(["health", source_file, "--strict"]) == 0
+    assert "health: OK" in capsys.readouterr().out
+    # --expect-firing on a clean run is the failure direction.
+    assert obs_main(["health", source_file, "--expect-firing"]) == 1
+
+
+def test_health_subcommand_custom_rules(tmp_path, source_file, capsys):
+    rules = tmp_path / "rules.txt"
+    rules.write_text("# always fires on any run\nfail: vm.runs > 0\n")
+    code = obs_main(["health", source_file, "--rules", str(rules),
+                     "--strict"])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_record_and_compare_cycle(tmp_path, capsys):
+    assert obs_main(["record", "tiering", "--dir", str(tmp_path),
+                     "--note", "first"]) == 0
+    assert obs_main(["record", "tiering", "--dir", str(tmp_path)]) == 0
+    trajectory = json.loads(
+        (tmp_path / "BENCH_tiering.json").read_text())["trajectory"]
+    assert len(trajectory) == 2 and trajectory[0]["note"] == "first"
+    # Identical deterministic reruns: the gate passes exactly.
+    assert obs_main(["compare", "tiering", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "tiering: OK" in out
+    # A synthetic 15% cycle regression in the newest entry fails a 10%
+    # gate and passes a 20% one.
+    path = tmp_path / "BENCH_tiering.json"
+    document = json.loads(path.read_text())
+    for row in document["trajectory"][-1]["rows"].values():
+        row["tiered_cycles"] = int(row["tiered_cycles"] * 1.15)
+    path.write_text(json.dumps(document))
+    assert obs_main(["compare", "tiering", "--dir", str(tmp_path)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+    assert obs_main(["compare", "tiering", "--dir", str(tmp_path),
+                     "--max-regression", "20"]) == 0
+
+
+def test_compare_without_trajectories_errors(tmp_path, capsys):
+    assert obs_main(["compare", "--dir", str(tmp_path)]) == 2
+    assert "no trajectory files" in capsys.readouterr().err
+
+
+def test_main_cli_metrics_out(tmp_path, source_file):
+    metrics_path = tmp_path / "metrics.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", source_file,
+         "--metrics-out", str(metrics_path)],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "wrote metrics" in proc.stderr
+    snap = json.loads(metrics_path.read_text())
+    assert snap["vm.runs"]["value"] == 1
+    assert "region.entries" in snap
+
+
 def test_bench_breakeven_flag(tmp_path):
     trace_path = tmp_path / "bench.json"
     proc = subprocess.run(

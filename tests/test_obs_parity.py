@@ -67,6 +67,39 @@ def test_tracing_and_metrics_do_not_perturb_simulation(name, mode):
     assert trace.validate_events(tracer.events) == []
 
 
+def test_sampler_and_exporters_do_not_perturb_simulation():
+    """The full telemetry stack -- labeled metrics, the time-series
+    sampler on both logical clocks, counter-track tracing, and both
+    exporters -- must leave every simulated observable bit-identical."""
+    from repro.obs import export, timeseries
+
+    source = CASES["sparse_matvec"]().source
+    plain = observables(compile_program(source, mode="dynamic").run())
+
+    tracer = trace.Tracer()
+    sampler = timeseries.TimeSeriesSampler(every_entries=2,
+                                           every_cycles=5_000, capacity=16)
+    metrics.registry.clear()
+    metrics.registry.enable()
+    try:
+        with trace.tracing(tracer), timeseries.sampling(sampler):
+            observed = observables(
+                compile_program(source, mode="dynamic").run())
+        snap = metrics.registry.snapshot()
+    finally:
+        metrics.registry.disable()
+        metrics.registry.clear()
+
+    assert observed == plain
+    assert sampler.samples > 0, "sampler never fired"
+    document = export.series_document(sampler, snapshot=snap)
+    assert document["series"], "no series recorded"
+    export.parse_openmetrics(export.to_openmetrics(snap))
+    assert any(event["ph"] == "C" for event in tracer.events), \
+        "no Perfetto counter tracks in the trace"
+    assert trace.validate_events(tracer.events) == []
+
+
 def test_rerun_parity_with_tracing_toggled_between_runs():
     """Toggling observability *between* runs of one Program must not
     change the second run either (reset_for_rerun path)."""
