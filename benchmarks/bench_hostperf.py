@@ -15,10 +15,23 @@ The JSON file keeps two snapshots:
 * ``current``  -- the numbers from the latest invocation, plus
   ``speedup_vs_baseline`` ratios (baseline seconds / current seconds).
 
+With ``--backend pycode`` the script measures every workload under
+*both* backends, verifies the simulated observables are bit-identical,
+and gates the steady-state host speedup: every **VM-bound** workload
+must run at least ``--gate-speedup`` (default 5x) faster under pycode.
+VM-bound is defined objectively: the share of rvm steady-state host
+time spent inside runtime services (``VM._call_rt``: region lookup,
+stitching, allocation, printing) is below ``--vm-bound-rt-share``
+(default 10%).  Runtime-service host cost is a backend-independent
+floor -- a workload that spends a third of its wall clock there can
+never reach 5x end-to-end no matter how fast stitched code executes --
+so the gate applies where the backend actually runs the show.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hostperf.py           # full
     PYTHONPATH=src python benchmarks/bench_hostperf.py --quick   # smoke
+    PYTHONPATH=src python benchmarks/bench_hostperf.py --backend pycode
 """
 
 from __future__ import annotations
@@ -36,10 +49,12 @@ if not any(Path(p).resolve() == REPO_ROOT / "src"
            for p in sys.path if p):
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.backends import get_backend  # noqa: E402
 from repro.bench.workloads import (  # noqa: E402
     calculator_workload, event_dispatcher_workload, record_sorter_workload,
     scalar_matrix_workload, sparse_matvec_workload,
 )
+from repro.machine.vm import VM  # noqa: E402
 from repro.runtime.engine import compile_program  # noqa: E402
 
 OUTPUT_PATH = REPO_ROOT / "BENCH_hostperf.json"
@@ -62,11 +77,13 @@ WORKLOADS: List[Tuple[str, Callable]] = [
 QUICK_WORKLOADS = {"calculator", "sparse_matvec_small"}
 
 
-def bench_workload(name: str, builder: Callable,
-                   steady_runs: int) -> Dict[str, object]:
+def bench_workload(name: str, builder: Callable, steady_runs: int,
+                   backend: str = "rvm"):
+    """Measure one workload; returns ``(row, first RunResult)``."""
     workload = builder()
     t0 = time.perf_counter()
-    program = compile_program(workload.source, mode="dynamic")
+    program = compile_program(workload.source, mode="dynamic",
+                              backend=backend)
     compile_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -93,19 +110,118 @@ def bench_workload(name: str, builder: Callable,
         "steady_run_s": round(min(steady_samples), 6),
         "simulated_cycles": first.cycles,
         "config": workload.config,
+        "backend": backend,
+    }, first
+
+
+def observables(result) -> Dict[str, object]:
+    """The simulated observables the backend seam must preserve."""
+    return {
+        "value": result.value,
+        "float_value": result.float_value,
+        "output": list(result.output),
+        "cycles": result.cycles,
+        "cycles_by_owner": dict(result.cycles_by_owner),
+        "instrs_by_owner": dict(result.instrs_by_owner),
+        "op_counts": dict(result.op_counts),
     }
 
 
-def run_suite(quick: bool, steady_runs: int) -> Dict[str, Dict[str, object]]:
+def rvm_rt_share(builder: Callable, steady_runs: int) -> float:
+    """Fraction of rvm steady-state host time inside runtime services.
+
+    Wraps ``VM._call_rt`` with a timing accumulator *before* the
+    program is built (handlers capture the bound method at predecode),
+    then takes the share from the fastest of ``steady_runs`` timed
+    reruns.  The instrumented program is thrown away -- reported
+    steady times always come from unpatched runs."""
+    acc = [0.0]
+    original = VM._call_rt
+
+    def timed(self, instr):
+        t0 = time.perf_counter()
+        result = original(self, instr)
+        acc[0] += time.perf_counter() - t0
+        return result
+
+    VM._call_rt = timed
+    try:
+        workload = builder()
+        program = compile_program(workload.source, mode="dynamic",
+                                  backend="rvm")
+        program.run()  # warm: build + stitch
+        best_total, best_rt = float("inf"), 0.0
+        for _ in range(max(1, steady_runs)):
+            rt0 = acc[0]
+            t0 = time.perf_counter()
+            program.run()
+            total = time.perf_counter() - t0
+            if total < best_total:
+                best_total, best_rt = total, acc[0] - rt0
+    finally:
+        VM._call_rt = original
+    return best_rt / best_total if best_total > 0 else 0.0
+
+
+def run_suite(quick: bool, steady_runs: int,
+              backend: str = "rvm") -> Dict[str, Dict[str, object]]:
     rows: Dict[str, Dict[str, object]] = {}
     for name, builder in WORKLOADS:
         if quick and name not in QUICK_WORKLOADS:
             continue
-        rows[name] = bench_workload(name, builder, steady_runs)
+        rows[name], _ = bench_workload(name, builder, steady_runs,
+                                       backend=backend)
         print("%-22s compile %7.3fs  first %7.3fs  steady %7.3fs"
               % (name, rows[name]["compile_s"], rows[name]["first_run_s"],
                  rows[name]["steady_run_s"]))
     return rows
+
+
+def run_comparison(quick: bool, steady_runs: int, backend: str,
+                   gate_speedup: float, vm_bound_rt_share: float,
+                   gate: bool) -> Tuple[Dict[str, Dict[str, object]],
+                                        List[str]]:
+    """Measure rvm and ``backend`` side by side; returns ``(rows,
+    gate failures)``.  Every workload's simulated observables must be
+    bit-identical across backends; VM-bound workloads must clear the
+    steady-state speedup gate."""
+    rows: Dict[str, Dict[str, object]] = {}
+    failures: List[str] = []
+    for name, builder in WORKLOADS:
+        if quick and name not in QUICK_WORKLOADS:
+            continue
+        rvm_row, rvm_first = bench_workload(name, builder, steady_runs,
+                                            backend="rvm")
+        alt_row, alt_first = bench_workload(name, builder, steady_runs,
+                                            backend=backend)
+        if observables(rvm_first) != observables(alt_first):
+            raise AssertionError(
+                "%s: simulated observables differ between rvm and %s"
+                % (name, backend))
+        share = rvm_rt_share(builder, steady_runs)
+        speedup = (float(rvm_row["steady_run_s"])
+                   / max(1e-12, float(alt_row["steady_run_s"])))
+        vm_bound = share < vm_bound_rt_share
+        alt_row["speedup_vs_rvm"] = round(speedup, 3)
+        alt_row["rvm_rt_share"] = round(share, 4)
+        alt_row["vm_bound"] = vm_bound
+        rows[name] = rvm_row
+        rows["%s@%s" % (name, backend)] = alt_row
+        verdict = ""
+        if vm_bound and gate:
+            if speedup >= gate_speedup:
+                verdict = "  GATE PASS (>= %.1fx)" % gate_speedup
+            else:
+                verdict = "  GATE FAIL (< %.1fx)" % gate_speedup
+                failures.append(
+                    "%s: VM-bound (rt share %.1f%%) but only %.2fx"
+                    % (name, share * 100, speedup))
+        print("%-22s rvm %7.4fs  %s %7.4fs  %6.2fx  rt-share %5.1f%%"
+              " %s%s"
+              % (name, rvm_row["steady_run_s"], backend,
+                 alt_row["steady_run_s"], speedup, share * 100,
+                 "VM-bound" if vm_bound else "rt-bound", verdict))
+    return rows, failures
 
 
 def speedups(baseline: Dict[str, Dict[str, object]],
@@ -133,11 +249,42 @@ def main(argv: List[str] = None) -> int:
                         help="steady-state repetitions (best-of)")
     parser.add_argument("--rebaseline", action="store_true",
                         help="overwrite the recorded baseline")
+    parser.add_argument("--backend", default="rvm", metavar="NAME",
+                        help="execution backend to measure; anything "
+                             "other than rvm triggers the side-by-side "
+                             "comparison (bit-identity check + VM-bound "
+                             "speedup gate)")
+    parser.add_argument("--gate-speedup", type=float, default=5.0,
+                        help="minimum steady-state speedup a VM-bound "
+                             "workload must show under the compared "
+                             "backend (default 5.0)")
+    parser.add_argument("--vm-bound-rt-share", type=float, default=0.10,
+                        help="a workload is VM-bound when rvm spends "
+                             "less than this fraction of steady-state "
+                             "host time in runtime services (default "
+                             "0.10)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report comparison numbers without failing "
+                             "on a missed speedup gate")
     parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
     args = parser.parse_args(argv)
 
+    try:
+        backend = get_backend(args.backend).name
+    except ValueError as exc:
+        print("error: --backend %s" % exc, file=sys.stderr)
+        return 2
+
     steady_runs = 1 if args.quick else max(1, args.runs)
-    current = run_suite(args.quick, steady_runs)
+    gate_failures: List[str] = []
+    if backend == "rvm":
+        current = run_suite(args.quick, steady_runs)
+    else:
+        current, gate_failures = run_comparison(
+            args.quick, steady_runs, backend,
+            gate_speedup=args.gate_speedup,
+            vm_bound_rt_share=args.vm_bound_rt_share,
+            gate=not args.no_gate)
 
     existing: Dict[str, object] = {}
     if args.output.exists():
@@ -162,6 +309,7 @@ def main(argv: List[str] = None) -> int:
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "steady_runs": steady_runs,
             "quick": args.quick,
+            "backend": backend,
         },
         "baseline": baseline,
         "current": current_out,
@@ -178,6 +326,10 @@ def main(argv: List[str] = None) -> int:
         if "steady_run" in ratios:
             print("  %-22s steady-state speedup vs baseline: %.2fx"
                   % (name, ratios["steady_run"]))
+    if gate_failures:
+        for failure in gate_failures:
+            print("GATE FAILURE: %s" % failure, file=sys.stderr)
+        return 1
     return 0
 
 

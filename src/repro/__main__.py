@@ -36,6 +36,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="dynamic",
                         help="dynamic = the paper's system; static = "
                              "baseline with annotations ignored")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend: rvm (default, the "
+                             "bit-exact oracle) or pycode (closure-"
+                             "composition host execution); simulated "
+                             "results are identical, host speed is not")
     parser.add_argument("--entry", default="main",
                         help="function to run (default: main)")
     parser.add_argument("--args", nargs="*", type=int, default=[],
@@ -176,6 +181,12 @@ def _run(args, source: str) -> int:
     except ValueError as exc:
         print("error: --tier %s" % exc, file=sys.stderr)
         return 2
+    from .backends import get_backend
+    try:
+        backend = get_backend(args.backend)
+    except ValueError as exc:
+        print("error: --backend %s" % exc, file=sys.stderr)
+        return 2
     try:
         program = compile_program(
             source,
@@ -186,6 +197,7 @@ def _run(args, source: str) -> int:
             cache_config=cache_config,
             fault_plan=fault_plan,
             tier=tier,
+            backend=backend,
         )
     except CompileError as exc:
         print("compile error: %s" % exc, file=sys.stderr)
@@ -216,7 +228,8 @@ def _run(args, source: str) -> int:
 
     for value in result.output:
         print(value)
-    print("=> %s  (%d cycles)" % (result.value, result.cycles))
+    print("=> %s  (%d cycles, %s backend)"
+          % (result.value, result.cycles, result.backend))
 
     stats = result.cache_stats
     if stats is not None and stats.bounded:

@@ -1,0 +1,1108 @@
+"""The ``pycode`` backend: closure-composition host execution.
+
+The rvm backend runs one Python closure per simulated instruction,
+re-entering the threaded dispatch loop between every two of them.
+This backend lowers each straight-line run of installed code (a
+*segment*: leader pc up to and including the first control transfer or
+runtime call) into **one** composed Python closure, generated as
+source, compiled with :func:`compile`, and installed as an overlay in
+``vm.handlers`` at the segment's leader pc.  Holes are already bound
+-- the stitcher patched run-time constants into the instruction words,
+so they appear in the generated source as literals; const-branches
+were folded and unrolled loops flattened by the stitcher, so they
+arrive here as long straight-line segments, which is exactly what this
+backend is fastest at.
+
+Execution still flows through the same threaded loop (``pc =
+handlers[pc](pc)``); non-leader pcs keep their per-instruction rvm
+handlers, so jumping into the middle of a segment (computed ``jmp``,
+stale return address) executes instruction-at-a-time and stays
+correct.  Segments may overlap -- a superhandler is just "execute
+straight-line code from here", so compiling a second segment that
+starts inside an existing one is always sound.
+
+Register localization
+---------------------
+
+Within a segment the generated code keeps register values in Python
+locals: the first read of a register materializes a local (with the
+``int``/``float`` coercion its use demands, cached per register), every
+write targets a local, and all written registers are flushed back to
+``vm.regs`` immediately before the terminator -- so branch tests, the
+``jsr`` link write, runtime calls and the next segment all observe
+exactly the register file rvm would produce.  A per-register *kind*
+(int/float/unknown) tracks what the local already is, eliding the
+coercions rvm performs on every operand read; elision is sound because
+the coercion of an already-coerced value is the identity.  Raw reads
+(``mov``, store values) always see the uncoerced value.  The one
+permitted divergence: a *fatal* trap in mid-segment (wild address,
+division by zero) can leave earlier results of the same segment
+unflushed -- such runs die with the same exception and message, and
+the oracle compares status only.
+
+Bit-identical accounting
+------------------------
+
+A segment charges its cycles in bulk: the generated prologue adds the
+segment's total cost to the cycle counter and each owner/opcode cell
+exactly once.  Totals after the segment equal the rvm backend's
+per-instruction charges, and because **runtime calls terminate
+segments**, every ``call_rt`` handler (region lookup/stitch, tiering
+decisions, the time-series sampler, allocation, printing) observes
+exactly the same mid-run cycle counts as under rvm.  The cycle budget
+is prechecked against the segment total; if the segment would cross
+the budget, the superhandler defers to the saved per-instruction
+handler chain, which charges instruction-by-instruction and traps at
+exactly the pc rvm would trap at -- the precheck runs before any
+register is localized, so the deferred chain starts from pristine
+state.
+
+Relocation safety comes from pc-relativity: superhandlers compute
+every internal pc as ``pc + k`` from their call argument and read
+branch targets from the captured :class:`MInstr` objects at run time,
+so compaction (``move_code`` copies handler slots; ``place`` re-points
+the same instruction objects) moves segments without recompilation.
+Eviction safety comes from the VM's own lifecycle: ``write_code`` and
+``fill_freed`` re-predecode the affected slots, which removes stale
+overlays; the cache then re-runs :meth:`entry_installed` for whatever
+replaces them.
+
+Host-compile cost is kept off the steady path at three levels:
+
+* compiled factories are memoized on their generated source
+  (re-stitches of the same key produce identical source);
+* the static image is compiled once per VM and its overlays survive
+  ``reset_for_rerun`` (only run-time handlers are truncated);
+* a per-entry **plan cache** remembers, per installed image
+  ``(checksum, base, words, region)``, the full overlay recipe --
+  leader offsets, factories and capture offsets -- so when a fresh
+  :class:`~repro.codecache.cache.CodeCache` re-stitches the same key
+  to the same address on a later run, the overlays are replayed by a
+  handful of closure calls with no discovery and no source generation.
+  Owner/opcode cells persist across :meth:`VM.reset_for_rerun` (they
+  are zeroed in place), so replayed closures keep charging the right
+  counters; the cache is keyed to one VM and dropped when the engine
+  builds a new one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import VMError
+from ..ir.semantics import EvalTrap, binop_impl
+from ..machine.isa import ALU_OPS, FALU_OPS, MInstr, RA, RD_WRITING_OPS, SP, ZERO
+from .base import ExecutionBackend
+
+Handler = Callable[[int], int]
+
+#: ops that end a segment (control transfers plus runtime calls --
+#: the latter so rt handlers observe exact mid-run accounting).
+_TERMINATORS = frozenset(
+    ["br", "beq", "bne", "jtab", "jsr", "ret", "jmp", "halt", "call_rt"])
+
+#: straight-line ops the code generator knows how to lower.
+_STRAIGHT_OPS = frozenset(
+    list(ALU_OPS) + list(FALU_OPS) + [
+        "ldq", "ldt", "stq", "stt", "lda", "ldih", "mov", "fmov",
+        "negq", "ornot", "fneg", "cvtqt", "cvttq", "nop",
+    ])
+
+#: ALU/FALU semantic names that can trap (lowered via the shared impl
+#: behind a try/except); everything else is inlined as an expression.
+_TRAPPING = frozenset(["div", "udiv", "mod", "umod", "fdiv"])
+
+_MASK = "0xffffffffffffffff"
+_SIGN = "0x8000000000000000"
+
+#: generated source -> compiled factory (shared across backends: the
+#: source is self-contained up to its capture arguments).
+_FACTORY_CACHE: Dict[str, Callable] = {}
+
+_EXEC_NAMESPACE = {"VMError": VMError, "EvalTrap": EvalTrap}
+
+
+def _scaled_add(target: str, per: int, fix: int) -> List[str]:
+    """``target += per * n + fix`` with zero terms elided."""
+    if per and fix:
+        return ["%s += %d * n + %d" % (target, per, fix)]
+    if per:
+        return ["%s += %d * n" % (target, per)]
+    if fix:
+        return ["%s += %d" % (target, fix)]
+    return []
+
+
+class _SegmentCodegen:
+    """Generate the factory source + captures for one segment.
+
+    Registers live in locals while the segment runs (see the module
+    docstring).  Dataflow inside a segment is straight-line -- the only
+    generated branches either raise or leave locals untouched -- so the
+    per-register state here (current local, known kind, coercion
+    aliases) is a sound forward analysis.
+    """
+
+    def __init__(self, vm, base_pc: int, instrs: Sequence[MInstr],
+                 falls_through: bool, loop: bool = False,
+                 body_instrs: Optional[Sequence[MInstr]] = None,
+                 body_off: int = 0):
+        self.vm = vm
+        self.base_pc = base_pc
+        self.instrs = instrs
+        self.falls_through = falls_through
+        #: loop form: the segment's terminator closes a cycle back to
+        #: the leader -- either directly (self-loop) or through one
+        #: straight body block (``body_instrs`` at leader-relative
+        #: ``body_off``, ending in ``br`` to the leader) -- so the
+        #: whole loop compiles to an in-closure ``while``.
+        self.loop = loop
+        self.body_instrs = body_instrs
+        self.body_off = body_off
+        #: loop-invariant regs whose coercion aliases may be hoisted
+        #: out of the loop (filled by the first codegen pass).
+        self.hoist_ok: frozenset = frozenset()
+        self._reset()
+
+    def _reset(self) -> None:
+        self.body: List[str] = []
+        self.setup: List[str] = []
+        #: loop form only: raw register loads emitted before the loop.
+        self.preload: List[str] = []
+        self.captured_instrs: List[MInstr] = []
+        self.capture_ks: List[int] = []
+        self.captured_fns: List[Callable] = []
+        self.needs: set = set()
+        #: reg -> local currently holding its value (dirty or loaded).
+        self.cur: Dict[int, str] = {}
+        #: reg -> "int" | "float" | None (unknown) for the current local.
+        self.kind: Dict[int, Optional[str]] = {}
+        #: (reg, "i"|"f") -> local caching the coerced value.
+        self.alias: Dict[Tuple[int, str], str] = {}
+        #: written registers, in insertion order (writeback order).
+        self.dirty: List[int] = []
+        #: reg -> (condition expr, operand regs) for a reg last
+        #: written by a comparison whose operands are still live:
+        #: lets ``beq``/``bne`` branch on the condition directly
+        #: (``reg != 0`` iff the condition held) instead of
+        #: re-testing the stored 0/1.
+        self.cmp_test: Dict[int, Tuple[str, frozenset]] = {}
+
+    # -- capture helpers ---------------------------------------------------
+
+    def _instr_ref(self, k: int, instr: MInstr) -> str:
+        name = "i%d" % len(self.captured_instrs)
+        self.captured_instrs.append(instr)
+        self.capture_ks.append(k)
+        self.setup.append("%s = instrs[%d]"
+                          % (name, len(self.captured_instrs) - 1))
+        return name
+
+    def _fn_ref(self, fn: Callable) -> str:
+        name = "f%d" % len(self.captured_fns)
+        self.captured_fns.append(fn)
+        self.setup.append("%s = fns[%d]"
+                          % (name, len(self.captured_fns) - 1))
+        return name
+
+    # -- register locals ---------------------------------------------------
+
+    def _materialize(self, reg: int) -> str:
+        """Loop form: the body must never read ``regs[]`` (iterations
+        after the first see locals, not the register file), so the
+        first read of any register emits a raw preload before the
+        loop."""
+        name = "r%d" % reg
+        self.preload.append("%s = regs[%d]" % (name, reg))
+        self.cur[reg] = name
+        self.kind[reg] = None
+        return name
+
+    def _coerced(self, reg: int, fn: str, suffix: str) -> str:
+        cur = self.cur.get(reg)
+        if cur is not None and self.kind.get(reg) == fn:
+            return cur
+        name = self.alias.get((reg, suffix))
+        if name is None:
+            name = "r%d%s" % (reg, suffix)
+            if self.loop:
+                if cur is None:
+                    cur = self._materialize(reg)
+                line = "%s = %s(%s)" % (name, fn, cur)
+                # a loop-invariant register's coercion is itself
+                # invariant: hoist it out of the loop.
+                if reg in self.hoist_ok:
+                    self.preload.append(line)
+                else:
+                    self.body.append(line)
+            else:
+                src = cur if cur is not None else "regs[%d]" % reg
+                self.body.append("%s = %s(%s)" % (name, fn, src))
+            self.alias[(reg, suffix)] = name
+        return name
+
+    def _iread(self, reg: int) -> str:
+        """A local holding ``int(regs[reg])``-equivalent."""
+        return self._coerced(reg, "int", "i")
+
+    def _fread(self, reg: int) -> str:
+        """A local holding ``float(regs[reg])``-equivalent."""
+        return self._coerced(reg, "float", "f")
+
+    def _rread(self, reg: int) -> str:
+        """The raw (uncoerced) value of ``reg``."""
+        cur = self.cur.get(reg)
+        if cur is None and self.loop:
+            return self._materialize(reg)
+        return cur if cur is not None else "regs[%d]" % reg
+
+    def _write(self, reg: int, kind: Optional[str]) -> str:
+        """Target local for a write to ``reg`` (caller emits the
+        assignment).  Must be called *after* the operand reads."""
+        name = "r%d" % reg
+        if reg not in self.dirty:
+            self.dirty.append(reg)
+        self.cur[reg] = name
+        self.kind[reg] = kind
+        self.alias.pop((reg, "i"), None)
+        self.alias.pop((reg, "f"), None)
+        if self.cmp_test:
+            self.cmp_test.pop(reg, None)
+            for r in [r for r, (_, deps) in self.cmp_test.items()
+                      if reg in deps]:
+                del self.cmp_test[r]
+        return name
+
+    def _note_cmp(self, instr: MInstr, cond: str) -> None:
+        """Record that ``instr.rd`` now holds ``1 if cond else 0``."""
+        deps = frozenset(r for r in (instr.ra, instr.rb) if r is not None)
+        if instr.rd not in deps:
+            self.cmp_test[instr.rd] = (cond, deps)
+
+    def _branch_cond(self, reg: int, nonzero: bool) -> str:
+        """Condition string for ``regs[reg] != 0`` (or ``== 0``),
+        preferring a fused comparison over re-testing the value."""
+        fused = self.cmp_test.get(reg)
+        if fused is not None:
+            return fused[0] if nonzero else "not (%s)" % fused[0]
+        return None
+
+    def _wrap_write(self, rd: int, expr: str) -> None:
+        """``local = wrap_int(expr)`` inlined.  The in-range guard
+        keeps the common case on CPython's single-digit fast path; the
+        overflow arm uses the total identity ``wrap_int(x) ==
+        ((x + 2**63) & (2**64-1)) - 2**63``."""
+        name = self._write(rd, "int")
+        self.body.append("_t = %s" % expr)
+        self.body.append(
+            "%s = _t if %d <= _t <= %d else ((_t + %s) & %s) - %s"
+            % (name, -(2 ** 63), 2 ** 63 - 1, _SIGN, _MASK, _SIGN))
+
+    def _emit_writeback(self) -> None:
+        for reg in self.dirty:
+            self.body.append("regs[%d] = %s" % (reg, self.cur[reg]))
+
+    # -- per-instruction lowering ------------------------------------------
+
+    def _addr(self, ra: int, imm: int) -> str:
+        base = self._iread(ra)
+        if imm:
+            self.body.append("_a = %s + %d" % (base, imm))
+            return "_a"
+        return base
+
+    def _emit(self, k: int, instr: MInstr) -> None:
+        op = instr.op
+        out = self.body
+        rd, ra, rb, imm = instr.rd, instr.ra, instr.rb, instr.imm
+        if op == "ldq" or op == "ldt":
+            self.needs.add("memory")
+            a = self._addr(ra, imm)
+            out.append("if not 0 <= %s < memlen:" % a)
+            out.append("    raise VMError(\"load from wild address %%#x"
+                       " at pc %%d\" %% (%s, pc + %d))" % (a, k))
+            name = self._write(rd, None)
+            out.append("%s = memory[%s]" % (name, a))
+        elif op == "stq" or op == "stt":
+            self.needs.update(("memory", "store"))
+            a = self._addr(ra, imm)
+            val = self._rread(rb)
+            out.append("if not 0 <= %s < memlen:" % a)
+            out.append("    raise VMError(\"store to wild address %%#x"
+                       " at pc %%d\" %% (%s, pc + %d))" % (a, k))
+            out.append("memory[%s] = %s" % (a, val))
+            out.append("if %s >= heap_base:" % a)
+            out.append("    if %s >= heap[0] and %s < min_sp[0]:" % (a, a))
+            out.append("        strays.add(%s >> 8)" % a)
+            out.append("else:")
+            out.append("    if %s < dirty_low[0]:" % a)
+            out.append("        dirty_low[0] = %s" % a)
+            out.append("    if %s > dirty_low[1]:" % a)
+            out.append("        dirty_low[1] = %s" % a)
+        elif op == "lda":
+            if ra == ZERO:
+                kind = "int" if isinstance(imm, int) else None
+                name = self._write(rd, kind)
+                out.append("%s = %r" % (name, imm))
+            else:
+                a = self._iread(ra)
+                self._wrap_write(rd, "%s + %d" % (a, imm))
+        elif op == "ldih":
+            a = self._iread(rd)
+            self._wrap_write(rd, "(%s << 16) | %d" % (a, imm & 0xFFFF))
+        elif op in ALU_OPS:
+            self._emit_alu(k, instr)
+        elif op in FALU_OPS:
+            self._emit_falu(k, instr)
+        elif op == "mov" or op == "fmov":
+            src = self._rread(ra)
+            srckind = self.kind.get(ra) if ra in self.cur else None
+            name = self._write(rd, srckind)
+            if name != src:
+                out.append("%s = %s" % (name, src))
+        elif op == "negq":
+            a = self._iread(ra)
+            self._wrap_write(rd, "-%s" % a)
+        elif op == "ornot":
+            a = self._iread(ra)
+            self._wrap_write(rd, "~%s" % a)
+        elif op == "fneg":
+            a = self._fread(ra)
+            name = self._write(rd, "float")
+            out.append("%s = -%s" % (name, a))
+        elif op == "cvtqt":
+            a = self._iread(ra)
+            name = self._write(rd, "float")
+            out.append("%s = float(%s)" % (name, a))
+        elif op == "cvttq":
+            a = self._fread(ra)
+            self._wrap_write(rd, "int(%s)" % a)
+        elif op == "nop":
+            pass
+        else:  # pragma: no cover - guarded by _STRAIGHT_OPS
+            raise ValueError("uncompilable op %r" % op)
+        if rd is not None and op in RD_WRITING_OPS:
+            if rd == ZERO:
+                name = self._write(ZERO, "int")
+                out.append("%s = 0" % name)
+            elif rd == SP:
+                self.needs.add("min_sp")
+                spv = self._iread(SP)
+                out.append("if %s < min_sp[0]:" % spv)
+                out.append("    min_sp[0] = %s" % spv)
+
+    def _emit_alu(self, k: int, instr: MInstr) -> None:
+        out = self.body
+        sem = ALU_OPS[instr.op]
+        rd = instr.rd
+        a = self._iread(instr.ra)
+        if instr.rb is not None:
+            b = self._iread(instr.rb)
+        else:
+            b = "(%d)" % instr.imm
+        if sem in _TRAPPING:
+            # a nonzero *constant* divisor (a stitched-in hole value or
+            # literal immediate) can never trap: inline the C-semantics
+            # division instead of calling the shared impl via
+            # try/except.  Truncation toward zero / dividend-sign
+            # remainder for positive divisors; unsigned ops mask the
+            # dividend and re-wrap the (possibly >= 2**63) result.
+            imm = instr.imm
+            if instr.rb is None and isinstance(imm, int) and imm != 0:
+                if sem == "div" and imm > 0:
+                    name = self._write(rd, "int")
+                    out.append("%s = %s // %d if %s >= 0 else -(-%s // %d)"
+                               % (name, a, imm, a, a, imm))
+                    return
+                if sem == "mod" and imm > 0:
+                    name = self._write(rd, "int")
+                    out.append("%s = %s %% %d if %s >= 0 else"
+                               " -(-%s %% %d)" % (name, a, imm, a, a, imm))
+                    return
+                if sem == "udiv" or sem == "umod":
+                    pyop = "//" if sem == "udiv" else "%"
+                    self._wrap_write(rd, "(%s & %s) %s %d"
+                                     % (a, _MASK, pyop,
+                                        imm & 0xFFFFFFFFFFFFFFFF))
+                    return
+            fn = self._fn_ref(binop_impl(sem))
+            name = self._write(rd, "int")
+            out.append("try:")
+            out.append("    %s = %s(%s, %s)" % (name, fn, a, b))
+            out.append("except EvalTrap as trap:")
+            out.append("    raise VMError(\"arithmetic trap at pc %%d:"
+                       " %%s\" %% (pc + %d, trap))" % k)
+            return
+        if sem == "add":
+            self._wrap_write(rd, "%s + %s" % (a, b))
+        elif sem == "sub":
+            self._wrap_write(rd, "%s - %s" % (a, b))
+        elif sem == "mul":
+            self._wrap_write(rd, "%s * %s" % (a, b))
+        elif sem == "and":
+            self._wrap_write(rd, "%s & %s" % (a, b))
+        elif sem == "or":
+            self._wrap_write(rd, "%s | %s" % (a, b))
+        elif sem == "xor":
+            self._wrap_write(rd, "%s ^ %s" % (a, b))
+        elif sem in ("shl", "lshr", "ashr"):
+            if instr.rb is None and isinstance(instr.imm, int):
+                b = "%d" % (instr.imm & 63)  # fold the count mask
+            else:
+                b = "(%s & 63)" % b
+            if sem == "shl":
+                self._wrap_write(rd, "%s << %s" % (a, b))
+            elif sem == "lshr":
+                self._wrap_write(rd, "(%s & %s) >> %s" % (a, _MASK, b))
+            else:
+                self._wrap_write(rd, "%s >> %s" % (a, b))
+        elif sem in ("eq", "ne", "lt", "le"):
+            cmp = {"eq": "==", "ne": "!=", "lt": "<", "le": "<="}[sem]
+            name = self._write(rd, "int")
+            cond = "%s %s %s" % (a, cmp, b)
+            out.append("%s = 1 if %s else 0" % (name, cond))
+            self._note_cmp(instr, cond)
+        elif sem == "ult" or sem == "ule":
+            name = self._write(rd, "int")
+            cond = "%s & %s %s %s & %s" % (
+                a, _MASK, "<" if sem == "ult" else "<=", b, _MASK)
+            out.append("%s = 1 if %s else 0" % (name, cond))
+            self._note_cmp(instr, cond)
+        else:  # pragma: no cover - exhaustive over ALU_OPS
+            raise ValueError("unhandled ALU semantic %r" % sem)
+
+    def _emit_falu(self, k: int, instr: MInstr) -> None:
+        out = self.body
+        sem = FALU_OPS[instr.op]
+        rd = instr.rd
+        a = self._fread(instr.ra)
+        b = self._fread(instr.rb)
+        if sem in _TRAPPING:
+            fn = self._fn_ref(binop_impl(sem))
+            name = self._write(rd, "float")
+            out.append("try:")
+            out.append("    %s = %s(%s, %s)" % (name, fn, a, b))
+            out.append("except EvalTrap as trap:")
+            out.append("    raise VMError(\"float trap at pc %%d: %%s\""
+                       " %% (pc + %d, trap))" % k)
+            return
+        if sem in ("fadd", "fsub", "fmul"):
+            pyop = {"fadd": "+", "fsub": "-", "fmul": "*"}[sem]
+            name = self._write(rd, "float")
+            out.append("%s = %s %s %s" % (name, a, pyop, b))
+        elif sem in ("feq", "fne", "flt", "fle"):
+            cmp = {"feq": "==", "fne": "!=", "flt": "<", "fle": "<="}[sem]
+            name = self._write(rd, "int")
+            cond = "%s %s %s" % (a, cmp, b)
+            out.append("%s = 1 if %s else 0" % (name, cond))
+            self._note_cmp(instr, cond)
+        else:  # pragma: no cover - exhaustive over FALU_OPS
+            raise ValueError("unhandled FALU semantic %r" % sem)
+
+    def _emit_terminator(self, k: int, instr: MInstr) -> None:
+        out = self.body
+        op = instr.op
+        if op == "call_rt":
+            self.needs.add("call_rt")
+            out.append("call_rt(%s)" % self._instr_ref(k, instr))
+            out.append("return pc + %d" % (k + 1))
+        elif op == "br":
+            ref = self._instr_ref(k, instr)
+            out.append("_t = %s.target" % ref)
+            self._check_target(out, "")
+            out.append("return _t")
+        elif op == "beq" or op == "bne":
+            ref = self._instr_ref(k, instr)
+            cond = self._branch_cond(instr.ra, nonzero=op == "bne")
+            if cond is None:
+                # numeric truthiness is exactly ``!= 0``.
+                cond = ("regs[%d]" if op == "bne"
+                        else "not regs[%d]") % instr.ra
+            out.append("if %s:" % cond)
+            out.append("    _t = %s.target" % ref)
+            self._check_target(out, "    ")
+            out.append("    return _t")
+            out.append("return pc + %d" % (k + 1))
+        elif op == "jsr":
+            ref = self._instr_ref(k, instr)
+            out.append("regs[%d] = pc + %d" % (RA, k + 1))
+            out.append("_t = %s.target" % ref)
+            self._check_target(out, "")
+            out.append("return _t")
+        elif op == "ret":
+            out.append("_t = int(regs[%d])" % RA)
+            out.append("if _t < 0 and _t != -2:")
+            out.append("    raise VMError(\"pc out of range: %d\" % _t)")
+            out.append("return _t")
+        elif op == "jmp":
+            out.append("_t = int(regs[%d])" % instr.ra)
+            out.append("if _t < 0 and _t != -2:")
+            out.append("    raise VMError(\"pc out of range: %d\" % _t)")
+            out.append("return _t")
+        elif op == "jtab":
+            ref = self._instr_ref(k, instr)
+            out.append("_ts, _d = %s.extra" % ref)
+            out.append("_ix = int(regs[%d]) - %d" % (instr.ra, instr.imm))
+            out.append("_t = _ts[_ix] if 0 <= _ix < len(_ts) else _d")
+            self._check_target(out, "")
+            out.append("return _t")
+        elif op == "halt":
+            out.append("return -2")
+        else:  # pragma: no cover - guarded by _TERMINATORS
+            raise ValueError("unhandled terminator %r" % op)
+
+    @staticmethod
+    def _check_target(out: List[str], pad: str) -> None:
+        out.append(pad + "if _t < 0:")
+        out.append(pad + "    raise VMError(\"pc out of range: %d\" % _t)")
+
+    # -- assembly ----------------------------------------------------------
+
+    def generate(self) -> Tuple[str, tuple, Tuple[int, ...], tuple,
+                                tuple, tuple]:
+        """Returns ``(source, instr captures, capture offsets, fn
+        captures, owner cells, opcode cells)``; capture offsets are
+        segment-leader-relative, for plan-cache replay."""
+        if self.loop:
+            return self._generate_loop()
+        vm = self.vm
+        seg_cost = 0
+        owner_cells: List[list] = []
+        owner_totals: List[List[int]] = []  # [cost, count] per cell
+        op_cells: List[list] = []
+        op_totals: List[int] = []
+        for instr in self.instrs:
+            seg_cost += instr.cost
+            ocell = vm._owner_cell(instr.owner)
+            for j, cell in enumerate(owner_cells):
+                if cell is ocell:
+                    owner_totals[j][0] += instr.cost
+                    owner_totals[j][1] += 1
+                    break
+            else:
+                owner_cells.append(ocell)
+                owner_totals.append([instr.cost, 1])
+            opcell = vm._op_cell(instr.op)
+            for j, cell in enumerate(op_cells):
+                if cell is opcell:
+                    op_totals[j] += 1
+                    break
+            else:
+                op_cells.append(opcell)
+                op_totals.append(1)
+        for k, instr in enumerate(self.instrs):
+            if instr.op in _TERMINATORS:
+                self._emit_writeback()
+                self._emit_terminator(k, instr)
+            else:
+                self._emit(k, instr)
+        if self.falls_through:
+            self._emit_writeback()
+            self.body.append("return pc + %d" % len(self.instrs))
+
+        lines = self._factory_header(owner_cells, op_cells)
+        lines.append("    def seg(pc):")
+        lines.append("        projected = cyc[0] + %d" % seg_cost)
+        lines.append("        if projected > maxc[0]:")
+        lines.append("            return origin(pc)")
+        lines.append("        cyc[0] = projected")
+        for j, (cost, count) in enumerate(owner_totals):
+            lines.append("        oc%d[0] += %d" % (j, cost))
+            lines.append("        oc%d[1] += %d" % (j, count))
+        for j, count in enumerate(op_totals):
+            lines.append("        opc%d[0] += %d" % (j, count))
+        for line in self.body:
+            lines.append("        " + line)
+        lines.append("    seg._pycode_segment = True")
+        lines.append("    return seg")
+        source = "\n".join(lines) + "\n"
+        return (source, tuple(self.captured_instrs),
+                tuple(self.capture_ks), tuple(self.captured_fns),
+                tuple(owner_cells), tuple(op_cells))
+
+    def _factory_header(self, owner_cells, op_cells) -> List[str]:
+        lines = ["def _factory(vm, instrs, fns, origin, ocells, opcells):"]
+        lines.append("    regs = vm.regs")
+        lines.append("    cyc = vm._cyc")
+        lines.append("    maxc = vm._maxc")
+        if "memory" in self.needs:
+            lines.append("    memory = vm.memory")
+            lines.append("    memlen = len(memory)")
+        if "store" in self.needs:
+            lines.append("    heap = vm._heap")
+            lines.append("    dirty_low = vm._dirty_low")
+            lines.append("    strays = vm._stray_pages")
+            lines.append("    heap_base = vm.HEAP_BASE")
+        if "store" in self.needs or "min_sp" in self.needs:
+            lines.append("    min_sp = vm._min_sp")
+        if "call_rt" in self.needs:
+            lines.append("    call_rt = vm._call_rt")
+        for j in range(len(owner_cells)):
+            lines.append("    oc%d = ocells[%d]" % (j, j))
+        for j in range(len(op_cells)):
+            lines.append("    opc%d = opcells[%d]" % (j, j))
+        for line in self.setup:
+            lines.append("    " + line)
+        return lines
+
+    def _generate_loop(self):
+        """Assemble the loop form: iterations run inside one Python
+        ``while`` with registers held in locals throughout.
+
+        Two shapes share this generator.  A *self-loop* is a single
+        block whose terminator (``br``/``beq``/``bne``) targets its own
+        leader.  A *fused loop* adds one straight body block: the head
+        ends in a conditional branch whose one side enters the body
+        (``body_off`` relative to the leader), and the body ends in
+        ``br`` back to the leader -- the classic while-loop lowering.
+
+        Accounting is kept in locals (``projected`` plus a completed-
+        iteration counter ``n``) and flushed to the shared cells in
+        bulk at every loop exit.  Exits are the only points where
+        another party can observe the counters, because runtime calls
+        terminate segments (a *fatal* mid-loop trap can observe stale
+        counters and registers, but such runs die -- same contract as
+        mid-segment traps in the straight-line form).  Per-block
+        budget prechecks keep the trap point exact: on overrun the
+        closure flushes the completed blocks, writes registers back
+        and returns control to the per-instruction chain (the saved
+        origin for the head; the head's own dispatch pc for the body),
+        which charges instruction-by-instruction and traps exactly
+        where rvm would.  Run-time guards on the captured branch
+        targets re-validate the loop shape after any rebase; on
+        mismatch the closure defers to the origin, which is always
+        correct."""
+        head = self.instrs
+        body = self.body_instrs
+        term = head[-1]
+        vm = self.vm
+        # -- per-block cell aggregation (cells shared across blocks) --
+        ocells: List[list] = []
+        opcells: List[list] = []
+
+        def agg(instrs):
+            cost = 0
+            ot: Dict[int, List[int]] = {}
+            pt: Dict[int, int] = {}
+            for i in instrs:
+                cost += i.cost
+                c = vm._owner_cell(i.owner)
+                for j, cc in enumerate(ocells):
+                    if cc is c:
+                        break
+                else:
+                    j = len(ocells)
+                    ocells.append(c)
+                e = ot.setdefault(j, [0, 0])
+                e[0] += i.cost
+                e[1] += 1
+                c2 = vm._op_cell(i.op)
+                for j2, cc in enumerate(opcells):
+                    if cc is c2:
+                        break
+                else:
+                    j2 = len(opcells)
+                    opcells.append(c2)
+                pt[j2] = pt.get(j2, 0) + 1
+            return cost, ot, pt
+
+        cost_h, oth, pth = agg(head)
+        cost_b, otb, ptb = agg(body or ())
+        self._loop_ocells = ocells
+        self._loop_opcells = opcells
+
+        def emit_blocks():
+            """Emit head (minus terminator) and body (minus the final
+            ``br``) through the register-localizing lowerer; returns
+            (head lines, test value, fused condition, body lines)."""
+            for k in range(len(head) - 1):
+                self._emit(k, head[k])
+            val = cond = None
+            if term.op != "br":
+                fused = self.cmp_test.get(term.ra)
+                if fused is not None:
+                    cond = fused[0]
+                else:
+                    val = self._rread(term.ra)
+            head_lines = self.body
+            self.body = []
+            body_lines = []
+            if body is not None:
+                for idx in range(len(body) - 1):
+                    self._emit(self.body_off + idx, body[idx])
+                body_lines = self.body
+                self.body = []
+            return head_lines, val, cond, body_lines
+
+        # Two codegen passes: the first discovers which registers the
+        # loop writes, so the second hoists coercions of the loop-
+        # invariant ones out of the loop.
+        emit_blocks()
+        self.hoist_ok = frozenset(
+            r for r in self.cur if r not in self.dirty)
+        self._reset()
+        head_lines, test_val, fused_cond, body_lines = emit_blocks()
+
+        term_ref = self._instr_ref(len(head) - 1, term)
+        br_ref = None
+        if body is not None:
+            br_ref = self._instr_ref(self.body_off + len(body) - 1,
+                                     body[-1])
+        writeback = ["regs[%d] = %s" % (r, self.cur[r])
+                     for r in self.dirty]
+
+        def flush(dh: int, db: int, corr: int) -> List[str]:
+            """Cell updates for ``n + dh`` head and ``n + db`` body
+            executions; ``corr`` backs the unexecuted block out of
+            ``projected``."""
+            ls = ["cyc[0] = projected" + (" - %d" % corr if corr else "")]
+            for j in range(len(ocells)):
+                for slot in (0, 1):
+                    per = oth.get(j, (0, 0))[slot] + otb.get(j, (0, 0))[slot]
+                    fix = dh * oth.get(j, (0, 0))[slot] \
+                        + db * otb.get(j, (0, 0))[slot]
+                    ls.extend(_scaled_add("oc%d[%d]" % (j, slot), per, fix))
+            for j in range(len(opcells)):
+                per = pth.get(j, 0) + ptb.get(j, 0)
+                fix = dh * pth.get(j, 0) + db * ptb.get(j, 0)
+                ls.extend(_scaled_add("opc%d[0]" % j, per, fix))
+            return ls
+
+        lines = self._factory_header(ocells, opcells)
+        lines.append("    def seg(pc):")
+        if body is not None and term.target == self.base_pc + self.body_off:
+            # body on the taken side: re-validate both edges.
+            lines.append("        if %s.target != pc + %d:"
+                         % (term_ref, self.body_off))
+            lines.append("            return origin(pc)")
+        elif body is None:
+            lines.append("        if %s.target != pc:" % term_ref)
+            lines.append("            return origin(pc)")
+        if br_ref is not None:
+            lines.append("        if %s.target != pc:" % br_ref)
+            lines.append("            return origin(pc)")
+        def cond_str(cmp: str) -> str:
+            """Condition for ``test cmp 0`` (cmp is ``==``/``!=``),
+            through the fused comparison when one is available (numeric
+            truthiness is exactly ``!= 0`` otherwise)."""
+            if fused_cond is not None:
+                return fused_cond if cmp == "!=" \
+                    else "not (%s)" % fused_cond
+            return test_val if cmp == "!=" else "not %s" % test_val
+
+        lines.append("        projected = cyc[0]")
+        lines.append("        _mx = maxc[0]")
+        lines.append("        n = 0")
+        for line in self.preload:
+            lines.append("        " + line)
+        lines.append("        while True:")
+        if body is None:
+            lines.append("            projected += %d" % cost_h)
+            lines.append("            if projected > _mx:")
+            for f in flush(0, 0, cost_h):
+                lines.append("                " + f)
+            for w in writeback:
+                lines.append("                " + w)
+            lines.append("                return origin(pc)")
+            for line in head_lines:
+                lines.append("            " + line)
+            if term.op == "br":
+                # self-loop on an unconditional branch: only the
+                # budget check above ever leaves the loop.
+                lines.append("            n += 1")
+            else:
+                # conditional self-loop: taken -> next iteration.
+                taken_cmp = "==" if term.op == "beq" else "!="
+                lines.append("            if %s:" % cond_str(taken_cmp))
+                lines.append("                n += 1")
+                lines.append("                continue")
+                for line in flush(1, 0, 0) + writeback \
+                        + ["return pc + %d" % len(head)]:
+                    lines.append("            " + line)
+            lines.append("    seg._pycode_segment = True")
+            lines.append("    return seg")
+            return self._loop_result(lines)
+
+        body_taken = term.target == self.base_pc + self.body_off
+        taken_cmp = "==" if term.op == "beq" else "!="
+        cont_cmp = taken_cmp if body_taken \
+            else ("!=" if term.op == "beq" else "==")
+
+        def emit_exit(pad: str) -> None:
+            if body_taken:
+                # exit is the conditional's fall-through.
+                lines.append(pad + "return pc + %d" % len(head))
+            else:
+                # exit is the conditional's (possibly absolute) target.
+                lines.append(pad + "_t = %s.target" % term_ref)
+                self._check_target(lines, pad)
+                lines.append(pad + "return _t")
+
+        # One merged budget check per iteration on the fast path; the
+        # slow path (taken at most once per invocation, since budgets
+        # only grow toward the limit) backs the body charge out and
+        # replays the exact per-block sequence so deferral points and
+        # observed counters match rvm instruction-for-instruction.
+        lines.append("            projected += %d" % (cost_h + cost_b))
+        lines.append("            if projected > _mx:")
+        lines.append("                projected -= %d" % cost_b)
+        lines.append("                if projected > _mx:")
+        for f in flush(0, 0, cost_h):
+            lines.append("                    " + f)
+        for w in writeback:
+            lines.append("                    " + w)
+        lines.append("                    return origin(pc)")
+        for line in head_lines:
+            lines.append("                " + line)
+        for f in flush(1, 0, 0):
+            lines.append("                " + f)
+        for w in writeback:
+            lines.append("                " + w)
+        # head ran but the body charge would cross the budget: hand
+        # the body's pc to the per-instruction chain.
+        lines.append("                if %s:" % cond_str(cont_cmp))
+        lines.append("                    return pc + %d" % self.body_off)
+        emit_exit("                ")
+        for line in head_lines:
+            lines.append("            " + line)
+        lines.append("            if %s:" % cond_str(cont_cmp))
+        for line in body_lines:
+            lines.append("                " + line)
+        lines.append("                n += 1")
+        lines.append("                continue")
+        for f in flush(1, 0, cost_b):
+            lines.append("            " + f)
+        for w in writeback:
+            lines.append("            " + w)
+        emit_exit("            ")
+        lines.append("    seg._pycode_segment = True")
+        lines.append("    return seg")
+        return self._loop_result(lines)
+
+    def _loop_result(self, lines: List[str]):
+        source = "\n".join(lines) + "\n"
+        return (source, tuple(self.captured_instrs),
+                tuple(self.capture_ks), tuple(self.captured_fns),
+                tuple(self._loop_ocells), tuple(self._loop_opcells))
+
+
+class PycodeBackend(ExecutionBackend):
+    """Closure-composition overlays on the shared installed words."""
+
+    name = "pycode"
+
+    #: segments shorter than this keep their per-instruction handler
+    #: (a one-instruction superhandler saves nothing).
+    MIN_SEGMENT = 2
+
+    def __init__(self):
+        #: host-side stats, surfaced by the CLI summary and tests.
+        self.segments_compiled = 0
+        self.factory_cache_hits = 0
+        self.plans_replayed = 0
+        #: (checksum, base, words, func, region_id) -> overlay recipe.
+        self._entry_plans: Dict[tuple, List[tuple]] = {}
+        self._plan_vm = None
+
+    # -- seam hooks --------------------------------------------------------
+
+    def prepare_vm(self, vm, static_words: int) -> None:
+        self.compile_range(vm, 0, static_words)
+
+    def entry_installed(self, vm, entry) -> None:
+        if vm is not self._plan_vm:
+            self._entry_plans.clear()
+            self._plan_vm = vm
+        key = (entry.checksum, entry.base, entry.words,
+               entry.key.func, entry.key.region_id)
+        plans = self._entry_plans.get(key)
+        if plans is not None:
+            self._replay(vm, entry, plans)
+            return
+        end = entry.base + entry.words
+        seg_plans = self.compile_range(vm, entry.base, end,
+                                       entries=(entry.entry_pc,))
+        # Continuation segments in the static image: ``ext:`` branches
+        # back into the owning function and ``func:`` call targets
+        # land mid-segment of the static CFG; compile ad hoc from
+        # exactly those pcs (overlapping an existing static segment is
+        # sound -- see the module docstring).  Static overlays persist
+        # across reruns, so they need no plan-cache entry.
+        for _index, kind, value in entry.relocs:
+            if kind == "absolute" and 0 <= value < len(vm.code):
+                self.compile_at(vm, value)
+        self._entry_plans[key] = [
+            (leader - entry.base, factory, ks, fns, ocells, opcells)
+            for leader, factory, ks, fns, ocells, opcells in seg_plans]
+        entry.artifacts[self.name] = {
+            "segments": len(seg_plans),
+            "leaders": sorted(p[0] - entry.base for p in seg_plans),
+        }
+
+    def _replay(self, vm, entry, plans: List[tuple]) -> None:
+        """Reinstall a remembered overlay recipe: same image words at
+        the same base, so the factories and segment shapes are already
+        known -- only the capture objects (the freshly placed MInstr
+        words) and the deferral origins change."""
+        code = vm.code
+        handlers = vm.handlers
+        base = entry.base
+        for off, factory, ks, fns, ocells, opcells in plans:
+            leader = base + off
+            origin = handlers[leader]
+            if getattr(origin, "_pycode_segment", False):
+                continue
+            captured = tuple(code[leader + k] for k in ks)
+            handlers[leader] = factory(vm, captured, fns, origin,
+                                       ocells, opcells)
+            self.plans_replayed += 1
+        entry.artifacts[self.name] = {
+            "segments": len(plans),
+            "leaders": sorted(p[0] for p in plans),
+        }
+
+    def block_installed(self, vm, base: int, words: int,
+                        entry_pc: int) -> None:
+        end = base + words
+        self.compile_range(vm, base, end, entries=(entry_pc,))
+        code = vm.code
+        for p in range(base, end):
+            instr = code[p]
+            if instr.op in ("br", "beq", "bne", "jsr"):
+                target = instr.target
+                if 0 <= target < len(code) and not base <= target < end:
+                    self.compile_at(vm, target)
+
+    # -- segment discovery & compilation -----------------------------------
+
+    def compile_range(self, vm, start: int, end: int,
+                      entries: Sequence[int] = ()) -> List[tuple]:
+        """Compile every segment in ``[start, end)``; returns one plan
+        tuple ``(leader, factory, capture offsets, fns, owner cells,
+        opcode cells)`` per overlay installed."""
+        code = vm.code
+        leaders = set(pc for pc in entries if start <= pc < end)
+        for p in range(start, end):
+            op = code[p].op
+            if op not in _TERMINATORS:
+                continue
+            if op in ("br", "beq", "bne", "jsr"):
+                target = code[p].target
+                if start <= target < end:
+                    leaders.add(target)
+            elif op == "jtab":
+                extra = code[p].extra
+                if isinstance(extra, tuple) and len(extra) == 2:
+                    targets, default = extra
+                    for target in list(targets) + [default]:
+                        if isinstance(target, int) \
+                                and start <= target < end:
+                            leaders.add(target)
+            if p + 1 < end:
+                leaders.add(p + 1)
+        if start < end:
+            leaders.add(start)
+        compiled: List[tuple] = []
+        for leader in sorted(leaders):
+            plan = self._compile_segment(vm, leader, end, leaders,
+                                         start=start)
+            if plan is not None:
+                compiled.append(plan)
+        return compiled
+
+    def compile_at(self, vm, pc: int) -> bool:
+        """Compile one ad-hoc segment starting at ``pc`` (run until
+        the first terminator, whatever leaders it crosses)."""
+        return self._compile_segment(
+            vm, pc, len(vm.code), frozenset()) is not None
+
+    def _find_loop_body(self, vm, leader: int, head_len: int,
+                        term: MInstr, start: int, end: int):
+        """For a head block ending in ``beq``/``bne``, look for one
+        straight body block on either side of the conditional that
+        ends in ``br`` back to the leader -- the classic while-loop
+        shape.  Returns ``(body instrs, leader-relative offset)`` or
+        None.  The body must lie inside ``[start, end)`` so plan-cache
+        replay can re-capture its words from the entry image."""
+        code = vm.code
+        for b in (term.target, leader + head_len):
+            if not start <= b < end or b == leader:
+                continue
+            instrs: List[MInstr] = []
+            p = b
+            closed = False
+            while p < end and len(instrs) < 512:
+                instr = code[p]
+                op = instr.op
+                if op == "br":
+                    instrs.append(instr)
+                    closed = instr.target == leader
+                    break
+                if op in _TERMINATORS or op not in _STRAIGHT_OPS:
+                    break
+                instrs.append(instr)
+                p += 1
+            if closed and len(instrs) > 1:
+                return instrs, b - leader
+        return None
+
+    def _compile_segment(self, vm, leader: int, end: int,
+                         leaders, start: int = 0) -> Optional[tuple]:
+        handlers = vm.handlers
+        if getattr(handlers[leader], "_pycode_segment", False):
+            return None  # already overlaid
+        code = vm.code
+        instrs: List[MInstr] = []
+        falls_through = True
+        p = leader
+        while p < end:
+            if p > leader and p in leaders:
+                break  # next leader starts its own segment
+            instr = code[p]
+            op = instr.op
+            if op in _TERMINATORS:
+                instrs.append(instr)
+                falls_through = False
+                break
+            if op not in _STRAIGHT_OPS:
+                return None  # freed / unknown op: stay interpretive
+            instrs.append(instr)
+            p += 1
+        if len(instrs) < self.MIN_SEGMENT:
+            return None
+        # Loop shapes: a terminator branching back to the leader makes
+        # a self-loop; a conditional whose one side runs one straight
+        # block ending in ``br`` back to the leader makes a fused
+        # while-loop.  Relocations preserve both shapes across
+        # rebasing (the back edges are local relocs whose values are
+        # leader-relative offsets) and the generated guards re-check
+        # the captured targets at run time.
+        loop = False
+        body_instrs = None
+        body_off = 0
+        if not falls_through:
+            term = instrs[-1]
+            if term.op in ("br", "beq", "bne") and term.target == leader:
+                loop = sum(i.cost for i in instrs) > 0
+            elif term.op in ("beq", "bne"):
+                found = self._find_loop_body(vm, leader, len(instrs),
+                                             term, start, end)
+                if found is not None:
+                    body_instrs, body_off = found
+                    loop = True
+        gen = _SegmentCodegen(vm, leader, instrs, falls_through,
+                              loop=loop, body_instrs=body_instrs,
+                              body_off=body_off)
+        source, captured, ks, fns, ocells, opcells = gen.generate()
+        factory = _FACTORY_CACHE.get(source)
+        if factory is None:
+            namespace = dict(_EXEC_NAMESPACE)
+            exec(compile(source, "<pycode-segment>", "exec"), namespace)
+            factory = _FACTORY_CACHE[source] = namespace["_factory"]
+        else:
+            self.factory_cache_hits += 1
+        origin = handlers[leader]
+        handlers[leader] = factory(vm, captured, fns, origin,
+                                   ocells, opcells)
+        self.segments_compiled += 1
+        return (leader, factory, ks, fns, ocells, opcells)

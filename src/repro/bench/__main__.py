@@ -35,6 +35,10 @@ def main(argv: List[str] = None) -> int:
                              "paper's sizes are roughly 5-25x)")
     parser.add_argument("--fused", action="store_true",
                         help="use the fused-stitcher cost model")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend for the measured runs "
+                             "(rvm or pycode; simulated cycles are "
+                             "identical either way)")
     parser.add_argument("--no-reachability", action="store_true",
                         help="disable the reachability analysis")
     parser.add_argument("--register-actions", action="store_true",
@@ -63,6 +67,13 @@ def main(argv: List[str] = None) -> int:
                              "follows Table 3")
     args = parser.parse_args(argv)
 
+    from ..backends import get_backend
+    try:
+        backend_name = get_backend(args.backend).name
+    except ValueError as exc:
+        print("error: --backend %s" % exc, file=sys.stderr)
+        return 2
+
     tracer = obs_trace.Tracer() if args.trace else None
     if tracer is not None:
         obs_trace.install(tracer)
@@ -82,7 +93,8 @@ def main(argv: List[str] = None) -> int:
                 with obs_trace.span("bench.workload", "bench",
                                     workload=workload.name):
                     row = measure(workload, stitcher_costs=costs,
-                                  use_reachability=not args.no_reachability)
+                                  use_reachability=not args.no_reachability,
+                                  backend=args.backend)
             except Exception as exc:  # keep going; report the failure
                 print("%-30s %-30s FAILED: %s: %s"
                       % (workload.name, workload.config,
@@ -97,9 +109,9 @@ def main(argv: List[str] = None) -> int:
                        format_breakeven(break_even_workload(
                            workload, stitcher_costs=costs,
                            use_reachability=not args.no_reachability))))
-            print("measured %-30s %-32s (%.1fs)"
+            print("measured %-30s %-32s (%.1fs, %s backend)"
                   % (workload.name, workload.config,
-                     time.time() - started),
+                     time.time() - started, backend_name),
                   file=sys.stderr)
     finally:
         if tracer is not None:
@@ -154,10 +166,12 @@ def main(argv: List[str] = None) -> int:
 
     if args.register_actions:
         workload = calculator_workload()
-        plain = measure(workload, stitcher_costs=costs)
+        plain = measure(workload, stitcher_costs=costs,
+                        backend=args.backend)
         program = compile_program(workload.source, mode="dynamic",
                                   stitcher_costs=costs,
-                                  register_actions=True)
+                                  register_actions=True,
+                                  backend=args.backend)
         result = program.run()
         breakdown = result.region_cycles("calc", 1, "dynamic")
         per_exec = (breakdown["stitched"] + breakdown["dispatch"]) \

@@ -90,14 +90,23 @@ def measure(workload: Workload,
             opt_options: Optional[OptOptions] = None,
             stitcher_costs: Optional[StitcherCosts] = None,
             use_reachability: bool = True,
-            max_cycles: int = 4_000_000_000) -> BenchmarkMeasurement:
-    """Compile and run ``workload`` in both modes; returns the row."""
+            max_cycles: int = 4_000_000_000,
+            backend: Optional[str] = None) -> BenchmarkMeasurement:
+    """Compile and run ``workload`` in both modes; returns the row.
+
+    ``backend`` picks the execution backend for both runs.  The
+    measured quantities are simulated cycles, which the backend seam
+    guarantees are backend-invariant -- the knob exists so the bench
+    can double as a backend cross-check (and to measure host time
+    under either backend)."""
     static_program = compile_program(workload.source, mode="static",
-                                     opt_options=opt_options)
+                                     opt_options=opt_options,
+                                     backend=backend)
     dynamic_program = compile_program(workload.source, mode="dynamic",
                                       opt_options=opt_options,
                                       use_reachability=use_reachability,
-                                      stitcher_costs=stitcher_costs)
+                                      stitcher_costs=stitcher_costs,
+                                      backend=backend)
     static_result = static_program.run(max_cycles=max_cycles)
     dynamic_result = dynamic_program.run(max_cycles=max_cycles)
     if static_result.value != dynamic_result.value:

@@ -83,11 +83,14 @@ class CodeCache:
     """Keyed cache of stitched region versions for one VM execution."""
 
     def __init__(self, vm, config: Optional[CacheConfig] = None,
-                 faults=None):
+                 faults=None, backend=None):
         self.vm = vm
         self.config = config or CacheConfig()
         #: fault-injection plan (repro.faults.FaultPlan) or None.
         self.faults = faults
+        #: execution backend notified after installs (None = no hooks,
+        #: pure rvm behavior; see repro.backends.base).
+        self.backend = backend
         self.policy = make_policy(self.config)
         self.code_arena = CodeArena(vm)
         self.pool_arena = PoolArena(vm)
@@ -342,6 +345,11 @@ class CodeCache:
         entry.pool_base = pool_base
         entry.report.pool_base = pool_base
         entry.checksum = entry.compute_checksum()
+        if self.backend is not None:
+            # Backend artifact hook: the entry is placed, relocated and
+            # checksummed; whatever the backend compiles here rides in
+            # ``entry.artifacts`` and dies with the entry.
+            self.backend.entry_installed(self.vm, entry)
 
     def compact(self) -> bool:
         """Slide unpinned live entries toward the arena base (pinned

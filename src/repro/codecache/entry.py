@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import List, NamedTuple, Tuple, Union
+from typing import Dict, List, NamedTuple, Tuple, Union
 
 from ..machine.isa import MInstr
 
@@ -105,6 +105,11 @@ class CachedEntry:
     #: integrity checksum over the canonical image, stamped at install
     #: and verified on every cache hit (0 = not yet stamped).
     checksum: int = 0
+    #: per-backend host artifacts (backend name -> opaque payload),
+    #: attached by ``ExecutionBackend.entry_installed``.  They live and
+    #: die with the entry: eviction and invalidation drop the whole
+    #: object, so stale artifacts cannot outlive their words.
+    artifacts: Dict[str, object] = field(default_factory=dict)
     _canonical: Tuple = field(default=None, repr=False)  # type: ignore
     _crc: int = field(default=0, repr=False)
 

@@ -28,6 +28,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from .backends import get_backend
 from .codecache import CacheConfig
 from .faults import FaultPlan
 from .obs import trace as obs_trace
@@ -77,6 +78,19 @@ def random_tier_policy(seed: int, iteration: int) -> Optional[str]:
     return spec
 
 
+def random_backend(seed: int, iteration: int) -> Optional[str]:
+    """A deterministic primary-backend draw for one fuzz iteration
+    (None for the default rvm).  The oracle's standing cross-backend
+    leg always runs the *other* backend, so this draw decides which
+    backend drives the static/regactions/tiered legs -- randomizing it
+    exercises pycode under every cache/fault/tier combination the
+    other draws produce, not just the plain dynamic configuration."""
+    rng = random.Random(seed * 65537 + iteration * 13 + 5)
+    if rng.random() < 0.60:
+        return None  # rvm: the historical path
+    return "pycode"
+
+
 def health_flags(report, faults_configured: bool) -> List[str]:
     """Cross-check one oracle report against the obs health rules.
 
@@ -114,6 +128,7 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
              cache_config: Optional[CacheConfig] = None,
              faults: Optional[str] = None,
              tier: Optional[str] = None,
+             backend: Optional[str] = None,
              health_log: Optional[List[str]] = None):
     """Generate and check one program.
 
@@ -125,7 +140,9 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     for some argument (the splitter's AnnotationError).
     ``cache_config``, ``faults`` (a fault-injection spec, see
     :meth:`FaultPlan.parse`) and ``tier`` (a tiering spec, see
-    :meth:`TierPolicy.parse`) apply to the oracle's dynamic legs.
+    :meth:`TierPolicy.parse`) apply to the oracle's dynamic legs;
+    ``backend`` picks the primary execution backend (the oracle's
+    cross-backend leg covers the other one either way).
     When ``health_log`` is given, every oracle report is additionally
     cross-checked via :func:`health_flags` and anomaly strings are
     appended to it.
@@ -137,7 +154,7 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     for arg in program.args:
         report = run_oracle(source, [arg], max_cycles=max_cycles,
                             cache_config=cache_config, faults=faults,
-                            tier=tier)
+                            tier=tier, backend=backend)
         rejected = rejected or report.annotation_reject
         if health_log is not None and not report.compile_error:
             for flag in health_flags(report, bool(faults)):
@@ -152,14 +169,16 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
 
 def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
                    max_cycles: int, faults: Optional[str] = None,
-                   tier: Optional[str] = None) -> int:
+                   tier: Optional[str] = None,
+                   backend: Optional[str] = None) -> int:
     """Replay every ``*.c`` reproducer in ``directory`` through the
-    oracle, optionally under a bounded cache, injected faults and/or
-    an adaptive tiering policy -- the CI proof that neither eviction
-    nor graceful degradation nor tiering ever changes program results
-    on known-tricky programs.  A reproducer saved with a ``// tier:``
-    header replays under that recorded policy (it overrides
-    ``tier``)."""
+    oracle, optionally under a bounded cache, injected faults, an
+    adaptive tiering policy and/or a non-default execution backend --
+    the CI proof that neither eviction nor graceful degradation nor
+    tiering nor the backend seam ever changes program results on
+    known-tricky programs.  A reproducer saved with a ``// tier:`` or
+    ``// backend:`` header replays under that recorded configuration
+    (it overrides ``tier`` / ``backend``)."""
     import glob
     import re
 
@@ -172,6 +191,8 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
         label += " faults=%s" % faults
     if tier:
         label += " tier=%s" % tier
+    if backend:
+        label += " backend=%s" % backend
     failures = 0
     for path in paths:
         with open(path) as handle:
@@ -181,10 +202,14 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
                     if match else []) or [0]
         tier_match = re.search(r"^// tier:\s*(\S+)", text, re.MULTILINE)
         file_tier = tier_match.group(1) if tier_match else tier
+        backend_match = re.search(r"^// backend:\s*(\S+)", text,
+                                  re.MULTILINE)
+        file_backend = (backend_match.group(1) if backend_match
+                        else backend)
         for arg in arg_list:
             report = run_oracle(text, [arg], max_cycles=max_cycles,
                                 cache_config=cache_config, faults=faults,
-                                tier=file_tier)
+                                tier=file_tier, backend=file_backend)
             if report.annotation_reject or report.ok:
                 continue
             failures += 1
@@ -250,6 +275,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-tier-fuzz", action="store_true",
                         help="always run eager tiering (pre-tiering "
                              "behavior: no adaptive oracle leg)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="fix the primary execution backend (rvm or "
+                             "pycode) instead of randomizing it per "
+                             "iteration; the oracle's cross-backend leg "
+                             "always covers the other one")
+    parser.add_argument("--no-backend-fuzz", action="store_true",
+                        help="always run the default rvm backend as "
+                             "primary (the cross-backend leg still "
+                             "runs pycode)")
     parser.add_argument("--replay", default=None, metavar="DIR",
                         help="replay DIR/*.c reproducers through the "
                              "oracle (honoring --cache) instead of "
@@ -263,9 +297,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         FaultPlan.parse(args.faults)  # fail fast on a bad spec
     if args.tier is not None:
         TierPolicy.parse(args.tier)  # fail fast on a bad spec
+    if args.backend is not None:
+        try:
+            get_backend(args.backend)  # fail fast on an unknown name
+        except ValueError as exc:
+            print("error: --backend %s" % exc, file=sys.stderr)
+            return 2
     if args.replay is not None:
         return _replay_corpus(args.replay, fixed_cache, args.max_cycles,
-                              faults=args.faults, tier=args.tier)
+                              faults=args.faults, tier=args.tier,
+                              backend=args.backend)
 
     corpus_dir = args.corpus_dir
     if corpus_dir is None:
@@ -301,10 +342,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             tier_spec = args.tier
         else:
             tier_spec = random_tier_policy(args.seed, i)
+        if args.no_backend_fuzz:
+            backend_spec: Optional[str] = None
+        elif args.backend is not None:
+            backend_spec = args.backend
+        else:
+            backend_spec = random_backend(args.seed, i)
         program, bad, rejected = fuzz_one(
             args.seed, i, max_stmts=args.max_stmts,
             max_cycles=args.max_cycles, cache_config=cache_config,
-            faults=args.faults, tier=tier_spec,
+            faults=args.faults, tier=tier_spec, backend=backend_spec,
             health_log=health_log)
         # Snapshot the tail now, before ablation/shrinking reruns
         # overwrite the ring with events from other programs.
@@ -330,11 +377,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         divergences += 1
         print("=" * 70)
-        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s%s%s"
+        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s%s%s%s"
               % (i, args.seed, bad.args,
                  cache_config.describe() if cache_config else "unbounded",
                  " faults=%s" % args.faults if args.faults else "",
-                 " tier=%s" % tier_spec if tier_spec else ""))
+                 " tier=%s" % tier_spec if tier_spec else "",
+                 " backend=%s" % backend_spec if backend_spec else ""))
         for divergence in bad.divergences:
             print("  " + str(divergence))
         if tier_spec is not None:
@@ -344,7 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             recheck = run_oracle(program.source, bad.args,
                                  max_cycles=args.max_cycles,
                                  cache_config=cache_config,
-                                 faults=args.faults)
+                                 faults=args.faults,
+                                 backend=backend_spec)
             if recheck.ok:
                 print("  divergence requires tier=%s (vanishes eager); "
                       "writing unshrunk reproducer" % tier_spec)
@@ -353,6 +402,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 path = os.path.join(corpus_dir, name)
                 with open(path, "w") as handle:
                     handle.write("// tier: %s\n" % tier_spec)
+                    if backend_spec:
+                        handle.write("// backend: %s\n" % backend_spec)
                     if args.faults:
                         handle.write("// faults: %s\n" % args.faults)
                     if cache_config is not None:
@@ -367,7 +418,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             # must keep its original program and spec.
             recheck = run_oracle(program.source, bad.args,
                                  max_cycles=args.max_cycles,
-                                 cache_config=cache_config)
+                                 cache_config=cache_config,
+                                 backend=backend_spec)
             if recheck.ok:
                 print("  divergence requires faults=%s (vanishes "
                       "fault-free); writing unshrunk reproducer"
@@ -377,6 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 path = os.path.join(corpus_dir, name)
                 with open(path, "w") as handle:
                     handle.write("// faults: %s\n" % args.faults)
+                    if backend_spec:
+                        handle.write("// backend: %s\n" % backend_spec)
                     if cache_config is not None:
                         handle.write("// cache: %s\n"
                                      % cache_config.describe())
@@ -388,7 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             # reruns under the default cache, so a bounded-cache-only
             # divergence must keep its original program and config.
             recheck = run_oracle(program.source, bad.args,
-                                 max_cycles=args.max_cycles)
+                                 max_cycles=args.max_cycles,
+                                 backend=backend_spec)
             if recheck.ok:
                 print("  divergence requires cache=%s (vanishes "
                       "unbounded); writing unshrunk reproducer"
@@ -398,6 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 path = os.path.join(corpus_dir, name)
                 with open(path, "w") as handle:
                     handle.write("// cache: %s\n" % cache_config.describe())
+                    if backend_spec:
+                        handle.write("// backend: %s\n" % backend_spec)
                     handle.write(format_reproducer(program, bad, None))
                 print("  wrote %s" % path)
                 continue

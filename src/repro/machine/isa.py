@@ -55,6 +55,11 @@ FLOAT_ALLOCATABLE = [FREG_BASE + n for n in
 IMM_MIN = -(1 << 15)
 IMM_MAX = (1 << 15) - 1
 
+#: The "return to host" pc: ``VM.run`` seeds ``RA`` with it, and a
+#: ``ret``/``jmp``/``halt`` reaching it ends execution.  Shared by the
+#: execution backends (:mod:`repro.backends`) and the VM itself.
+RETURN_SENTINEL = -2
+
 
 def fits_imm(value: int) -> bool:
     """Does ``value`` fit the 16-bit signed immediate field?"""

@@ -38,13 +38,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..backends.rvm import RVMBackend, predecode as _predecode
 from ..errors import ArenaExhausted, VMError  # noqa: F401  (re-exported)
-from ..ir.semantics import EvalTrap, binop_impl
 from ..ir.values import wrap_int
 from .costs import op_cost
 from .isa import (
-    ALU_OPS, ARG_BASE, FALU_OPS, FREG_BASE, FRV, MInstr, RA,
-    RD_WRITING_OPS, RV, SP, ZERO,
+    ARG_BASE, FREG_BASE, FRV, MInstr, RA, RETURN_SENTINEL, RV, SP, ZERO,
 )
 
 Number = Union[int, float]
@@ -59,10 +58,15 @@ _PURE_SIGS: Dict[str, Tuple[str, str]] = {
     "fmax": ("ff", "f"), "fmin": ("ff", "f"),
 }
 
-_RETURN_SENTINEL = -2
+_RETURN_SENTINEL = RETURN_SENTINEL
 
 #: One predecoded instruction: takes its own pc, returns the next pc.
 Handler = Callable[[int], int]
+
+#: The dispatch loops ``VM.run`` delegates to (a bare VM without an
+#: engine on top always executes rvm semantics; backend overlays only
+#: change *which handlers* the threaded loop finds installed).
+_RVM = RVMBackend()
 
 _ZERO_PAGE = [0] * 256
 
@@ -316,13 +320,14 @@ class VM:
         (argument passing).  Returns ``(r0, f0)``.
 
         ``dispatch`` selects the execution engine: ``"threaded"`` runs
-        the predecoded handlers (the fast path), ``"naive"`` runs the
-        retained instruction-at-a-time decode loop
-        (:meth:`_naive_loop`).  The two are required to be equivalent
-        -- same results, same traps, and bit-identical cycle/owner/
-        opcode accounting -- which the differential tests check; the
-        simulated cost model must never depend on the host-side speed
-        of the dispatch implementation.
+        the predecoded handlers (the fast path,
+        :meth:`~repro.backends.rvm.RVMBackend.run_threaded`),
+        ``"naive"`` runs the retained instruction-at-a-time decode loop
+        (:meth:`~repro.backends.rvm.RVMBackend.run_naive`).  The two
+        are required to be equivalent -- same results, same traps, and
+        bit-identical cycle/owner/opcode accounting -- which the
+        differential tests check; the simulated cost model must never
+        depend on the host-side speed of the dispatch implementation.
         """
         regs = self.regs
         for reg, value in int_args or []:
@@ -334,171 +339,10 @@ class VM:
         if pc != _RETURN_SENTINEL and not 0 <= pc < len(self.handlers):
             raise VMError("pc out of range: %d" % pc)
         if dispatch == "naive":
-            self._naive_loop(pc)
-            return int(regs[RV]), float(regs[FRV])
+            return _RVM.run_naive(self, pc)
         if dispatch != "threaded":
             raise ValueError("unknown dispatch %r" % dispatch)
-        handlers = self.handlers
-        try:
-            while pc != _RETURN_SENTINEL:
-                pc = handlers[pc](pc)
-        except IndexError:
-            if 0 <= pc < len(handlers):
-                raise  # a genuine IndexError inside a runtime service
-            raise VMError("pc out of range: %d" % pc) from None
-        return int(regs[RV]), float(regs[FRV])
-
-    def _naive_loop(self, pc: int) -> None:
-        """The slow path: decode every instruction on every execution.
-
-        This is the dispatch loop the predecoded handlers replaced.  It
-        is retained deliberately, as the oracle for the fast path: each
-        step charges the same pre-assigned cost to the same owner and
-        opcode cells, checks the same budget, raises the same faults
-        with the same messages, and applies the same architectural
-        special cases (r31 discards results, SP writes update the
-        stack low-water mark, stores update the dirty tracking), so
-        both dispatchers must produce bit-identical accounting.
-        """
-        regs = self.regs
-        memory = self.memory
-        memlen = len(memory)
-        cyc = self._cyc
-        maxc = self._maxc
-        code = self.code
-        min_sp = self._min_sp
-        dirty_low = self._dirty_low
-        strays = self._stray_pages
-        heap = self._heap
-        heap_base = self.HEAP_BASE
-        while pc != _RETURN_SENTINEL:
-            if not 0 <= pc < len(code):
-                raise VMError("pc out of range: %d" % pc)
-            instr = code[pc]
-            op = instr.op
-            cost = instr.cost
-            ocell = self._owner_cell(instr.owner)
-            opcell = self._op_cell(op)
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            rd = instr.rd
-            ra = instr.ra
-            rb = instr.rb
-            imm = instr.imm
-            next_pc = pc + 1
-            if op == "ldq" or op == "ldt":
-                addr = int(regs[ra]) + imm
-                if not 0 <= addr < memlen:
-                    raise VMError("load from wild address %#x at pc %d"
-                                  % (addr, pc))
-                regs[rd] = memory[addr]
-            elif op == "stq" or op == "stt":
-                addr = int(regs[ra]) + imm
-                if not 0 <= addr < memlen:
-                    raise VMError("store to wild address %#x at pc %d"
-                                  % (addr, pc))
-                memory[addr] = regs[rb]
-                if addr >= heap_base:
-                    if addr >= heap[0] and addr < min_sp[0]:
-                        strays.add(addr >> 8)
-                else:
-                    if addr < dirty_low[0]:
-                        dirty_low[0] = addr
-                    if addr > dirty_low[1]:
-                        dirty_low[1] = addr
-            elif op == "lda":
-                if ra == ZERO:
-                    regs[rd] = imm
-                else:
-                    regs[rd] = wrap_int(int(regs[ra]) + imm)
-            elif op == "ldih":
-                regs[rd] = wrap_int((int(regs[rd]) << 16) | (imm & 0xFFFF))
-            elif op in ALU_OPS:
-                fn = binop_impl(ALU_OPS[op])
-                try:
-                    if rb is not None:
-                        regs[rd] = fn(int(regs[ra]), int(regs[rb]))
-                    else:
-                        regs[rd] = fn(int(regs[ra]), imm)
-                except EvalTrap as trap:
-                    raise VMError("arithmetic trap at pc %d: %s"
-                                  % (pc, trap))
-            elif op in FALU_OPS:
-                fn = binop_impl(FALU_OPS[op])
-                try:
-                    regs[rd] = fn(float(regs[ra]), float(regs[rb]))
-                except EvalTrap as trap:
-                    raise VMError("float trap at pc %d: %s" % (pc, trap))
-            elif op == "mov" or op == "fmov":
-                regs[rd] = regs[ra]
-            elif op == "br":
-                target = instr.target
-                if target < 0:
-                    raise VMError("pc out of range: %d" % target)
-                next_pc = target
-            elif op == "beq" or op == "bne":
-                if (regs[ra] == 0) == (op == "beq"):
-                    target = instr.target
-                    if target < 0:
-                        raise VMError("pc out of range: %d" % target)
-                    next_pc = target
-            elif op == "jtab":
-                targets, default = instr.extra  # resolved by the loader
-                index = int(regs[ra]) - imm
-                if 0 <= index < len(targets):
-                    target = targets[index]
-                else:
-                    target = default
-                if target < 0:
-                    raise VMError("pc out of range: %d" % target)
-                next_pc = target
-            elif op == "negq":
-                regs[rd] = wrap_int(-int(regs[ra]))
-            elif op == "ornot":
-                regs[rd] = wrap_int(~int(regs[ra]))
-            elif op == "fneg":
-                regs[rd] = -float(regs[ra])
-            elif op == "cvtqt":
-                regs[rd] = float(int(regs[ra]))
-            elif op == "cvttq":
-                regs[rd] = wrap_int(int(float(regs[ra])))
-            elif op == "jsr":
-                regs[RA] = pc + 1
-                target = instr.target
-                if target < 0:
-                    raise VMError("pc out of range: %d" % target)
-                next_pc = target
-            elif op == "ret":
-                target = int(regs[RA])
-                if target < 0 and target != _RETURN_SENTINEL:
-                    raise VMError("pc out of range: %d" % target)
-                next_pc = target
-            elif op == "jmp":
-                target = int(regs[ra])
-                if target < 0 and target != _RETURN_SENTINEL:
-                    raise VMError("pc out of range: %d" % target)
-                next_pc = target
-            elif op == "call_rt":
-                self._call_rt(instr)
-            elif op == "halt":
-                next_pc = _RETURN_SENTINEL
-            elif op == "nop":
-                pass
-            else:
-                raise VMError("unknown opcode %r at pc %d" % (op, pc))
-            if rd is not None and op in RD_WRITING_OPS:
-                if rd == ZERO:
-                    regs[ZERO] = 0
-                elif rd == SP:
-                    value = int(regs[SP])
-                    if value < min_sp[0]:
-                        min_sp[0] = value
-            pc = next_pc
+        return _RVM.run_threaded(self, pc)
 
     def _call_rt(self, instr: MInstr) -> None:
         name = instr.name or ""
@@ -528,401 +372,3 @@ class VM:
             regs[RV] = self.rt_handlers[name](self, instr)
         else:
             raise VMError("unknown runtime call %r" % name)
-
-
-def _predecode(vm: VM, instr: MInstr) -> Handler:
-    """Specialize one installed instruction into a threaded handler.
-
-    Every handler charges its pre-bound cost to the pre-bound owner and
-    opcode cells, checks the cycle budget, performs the operation and
-    returns the next pc.  Control-flow handlers read ``instr.target``
-    and ``instr.extra`` at execution time -- the loader and the
-    stitcher patch those fields after installation.
-    """
-    op = instr.op
-    regs = vm.regs
-    memory = vm.memory
-    memlen = len(memory)
-    cyc = vm._cyc
-    maxc = vm._maxc
-    ocell = vm._owner_cell(instr.owner)
-    opcell = vm._op_cell(op)
-    cost = instr.cost
-    rd = instr.rd
-    ra = instr.ra
-    rb = instr.rb
-    imm = instr.imm
-
-    if op == "ldq" or op == "ldt":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            addr = int(regs[ra]) + imm
-            if not 0 <= addr < memlen:
-                raise VMError("load from wild address %#x at pc %d"
-                              % (addr, pc))
-            regs[rd] = memory[addr]
-            return pc + 1
-
-    elif op == "stq" or op == "stt":
-        heap = vm._heap
-        min_sp = vm._min_sp
-        dirty_low = vm._dirty_low
-        strays = vm._stray_pages
-        heap_base = VM.HEAP_BASE
-
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            addr = int(regs[ra]) + imm
-            if not 0 <= addr < memlen:
-                raise VMError("store to wild address %#x at pc %d"
-                              % (addr, pc))
-            memory[addr] = regs[rb]
-            if addr >= heap_base:
-                if addr >= heap[0] and addr < min_sp[0]:
-                    strays.add(addr >> 8)
-            else:
-                if addr < dirty_low[0]:
-                    dirty_low[0] = addr
-                if addr > dirty_low[1]:
-                    dirty_low[1] = addr
-            return pc + 1
-
-    elif op == "lda":
-        if ra == ZERO:
-            # Constant materialization: the immediate always fits.
-            def handler(pc: int) -> int:
-                total = cyc[0] + cost
-                cyc[0] = total
-                ocell[0] += cost
-                ocell[1] += 1
-                opcell[0] += 1
-                if total > maxc[0]:
-                    raise VMError("cycle budget exceeded")
-                regs[rd] = imm
-                return pc + 1
-        else:
-            def handler(pc: int) -> int:
-                total = cyc[0] + cost
-                cyc[0] = total
-                ocell[0] += cost
-                ocell[1] += 1
-                opcell[0] += 1
-                if total > maxc[0]:
-                    raise VMError("cycle budget exceeded")
-                regs[rd] = wrap_int(int(regs[ra]) + imm)
-                return pc + 1
-
-    elif op == "ldih":
-        imm16 = imm & 0xFFFF
-
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[rd] = wrap_int((int(regs[rd]) << 16) | imm16)
-            return pc + 1
-
-    elif op in ALU_OPS:
-        fn = binop_impl(ALU_OPS[op])
-        if rb is not None:
-            def handler(pc: int) -> int:
-                total = cyc[0] + cost
-                cyc[0] = total
-                ocell[0] += cost
-                ocell[1] += 1
-                opcell[0] += 1
-                if total > maxc[0]:
-                    raise VMError("cycle budget exceeded")
-                try:
-                    regs[rd] = fn(int(regs[ra]), int(regs[rb]))
-                except EvalTrap as trap:
-                    raise VMError("arithmetic trap at pc %d: %s"
-                                  % (pc, trap))
-                return pc + 1
-        else:
-            def handler(pc: int) -> int:
-                total = cyc[0] + cost
-                cyc[0] = total
-                ocell[0] += cost
-                ocell[1] += 1
-                opcell[0] += 1
-                if total > maxc[0]:
-                    raise VMError("cycle budget exceeded")
-                try:
-                    regs[rd] = fn(int(regs[ra]), imm)
-                except EvalTrap as trap:
-                    raise VMError("arithmetic trap at pc %d: %s"
-                                  % (pc, trap))
-                return pc + 1
-
-    elif op in FALU_OPS:
-        fn = binop_impl(FALU_OPS[op])
-
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            try:
-                regs[rd] = fn(float(regs[ra]), float(regs[rb]))
-            except EvalTrap as trap:
-                raise VMError("float trap at pc %d: %s" % (pc, trap))
-            return pc + 1
-
-    elif op == "mov" or op == "fmov":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[rd] = regs[ra]
-            return pc + 1
-
-    elif op == "br":
-        def handler(pc: int, i: MInstr = instr) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            target = i.target
-            if target < 0:
-                raise VMError("pc out of range: %d" % target)
-            return target
-
-    elif op == "beq" or op == "bne":
-        taken_if_zero = op == "beq"
-
-        def handler(pc: int, i: MInstr = instr) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            if (regs[ra] == 0) == taken_if_zero:
-                target = i.target
-                if target < 0:
-                    raise VMError("pc out of range: %d" % target)
-                return target
-            return pc + 1
-
-    elif op == "jtab":
-        def handler(pc: int, i: MInstr = instr) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            targets, default = i.extra  # resolved by the loader
-            index = int(regs[ra]) - imm
-            if 0 <= index < len(targets):
-                target = targets[index]
-            else:
-                target = default
-            if target < 0:
-                raise VMError("pc out of range: %d" % target)
-            return target
-
-    elif op == "negq":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[rd] = wrap_int(-int(regs[ra]))
-            return pc + 1
-
-    elif op == "ornot":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[rd] = wrap_int(~int(regs[ra]))
-            return pc + 1
-
-    elif op == "fneg":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[rd] = -float(regs[ra])
-            return pc + 1
-
-    elif op == "cvtqt":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[rd] = float(int(regs[ra]))
-            return pc + 1
-
-    elif op == "cvttq":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[rd] = wrap_int(int(float(regs[ra])))
-            return pc + 1
-
-    elif op == "jsr":
-        def handler(pc: int, i: MInstr = instr) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            regs[RA] = pc + 1
-            target = i.target
-            if target < 0:
-                raise VMError("pc out of range: %d" % target)
-            return target
-
-    elif op == "ret":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            target = int(regs[RA])
-            if target < 0 and target != _RETURN_SENTINEL:
-                raise VMError("pc out of range: %d" % target)
-            return target
-
-    elif op == "jmp":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            target = int(regs[ra])
-            if target < 0 and target != _RETURN_SENTINEL:
-                raise VMError("pc out of range: %d" % target)
-            return target
-
-    elif op == "call_rt":
-        call_rt = vm._call_rt
-
-        def handler(pc: int, i: MInstr = instr) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            call_rt(i)
-            return pc + 1
-
-    elif op == "halt":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            return _RETURN_SENTINEL
-
-    elif op == "nop":
-        def handler(pc: int) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            return pc + 1
-
-    else:
-        # Unknown opcodes fault at execution time (not install time),
-        # after charging, exactly like the interpretive loop did.
-        def handler(pc: int, i: MInstr = instr) -> int:
-            total = cyc[0] + cost
-            cyc[0] = total
-            ocell[0] += cost
-            ocell[1] += 1
-            opcell[0] += 1
-            if total > maxc[0]:
-                raise VMError("cycle budget exceeded")
-            raise VMError("unknown opcode %r at pc %d" % (i.op, pc))
-
-    if rd is not None and op in RD_WRITING_OPS:
-        if rd == ZERO:
-            # r31 reads as zero: perform the operation (traps and
-            # memory faults still fire) but discard the result.
-            inner = handler
-
-            def handler(pc: int) -> int:
-                next_pc = inner(pc)
-                regs[ZERO] = 0
-                return next_pc
-        elif rd == SP:
-            # Track the stack low-water mark for reset_for_rerun.
-            inner_sp = handler
-            min_sp = vm._min_sp
-
-            def handler(pc: int) -> int:
-                next_pc = inner_sp(pc)
-                value = int(regs[SP])
-                if value < min_sp[0]:
-                    min_sp[0] = value
-                return next_pc
-
-    return handler

@@ -136,7 +136,15 @@ def make_entry(rows: Dict[str, Dict[str, object]],
 def _collect_hostperf(quick: bool = True,
                       steady_runs: int = 3) -> Dict[str, Dict[str, object]]:
     """Compile/first/steady host seconds + simulated cycles for the
-    Table 2 workloads (the quick pair by default)."""
+    Table 2 workloads (the quick pair by default).
+
+    Every workload is measured under both execution backends: the
+    historical row name carries the default ``rvm`` numbers (keeping
+    the trajectory comparable across entries that predate the backend
+    seam) and a ``<name>@pycode`` sibling row tracks the
+    closure-composition backend.  ``simulated_cycles`` is gated on
+    both, so a backend that drifts from the bit-identical contract
+    trips the flight recorder, not just the test suite."""
     from ..bench.workloads import (
         calculator_workload, sparse_matvec_workload, scalar_matrix_workload,
         event_dispatcher_workload, record_sorter_workload,
@@ -163,23 +171,26 @@ def _collect_hostperf(quick: bool = True,
     rows: Dict[str, Dict[str, object]] = {}
     for name, builder in workloads:
         workload = builder()
-        t0 = time.perf_counter()
-        program = compile_program(workload.source, mode="dynamic")
-        compile_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        first = program.run()
-        first_run_s = time.perf_counter() - t0
-        steady = []
-        for _ in range(max(1, steady_runs)):
+        for backend in ("rvm", "pycode"):
             t0 = time.perf_counter()
-            program.run()
-            steady.append(time.perf_counter() - t0)
-        rows[name] = {
-            "compile_s": round(compile_s, 6),
-            "first_run_s": round(first_run_s, 6),
-            "steady_run_s": round(min(steady), 6),
-            "simulated_cycles": first.cycles,
-        }
+            program = compile_program(workload.source, mode="dynamic",
+                                      backend=backend)
+            compile_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            first = program.run()
+            first_run_s = time.perf_counter() - t0
+            steady = []
+            for _ in range(max(1, steady_runs)):
+                t0 = time.perf_counter()
+                program.run()
+                steady.append(time.perf_counter() - t0)
+            key = name if backend == "rvm" else "%s@%s" % (name, backend)
+            rows[key] = {
+                "compile_s": round(compile_s, 6),
+                "first_run_s": round(first_run_s, 6),
+                "steady_run_s": round(min(steady), 6),
+                "simulated_cycles": first.cycles,
+            }
     return rows
 
 

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
+from ..backends import ExecutionBackend, get_backend
 from ..codecache import (
     CacheConfig, CacheKey, CacheStats, CodeCache, region_key,
 )
@@ -128,6 +129,8 @@ class RunResult:
     #: entries, per-key counters...); empty for eager runs.
     tier_stats: Dict[Tuple[str, int], Dict[str, object]] = field(
         default_factory=dict)
+    #: registry name of the execution backend that produced this run.
+    backend: str = "rvm"
 
     def owner_cycles(self, prefix: str) -> int:
         """Total cycles across owners starting with ``prefix``."""
@@ -167,7 +170,8 @@ class Program:
                  fault_plan: Optional[FaultPlan] = None,
                  stitch_budget: Optional[StitchBudget] = None,
                  breaker_config: Optional[BreakerConfig] = None,
-                 tier: Optional[Union[TierPolicy, str]] = None):
+                 tier: Optional[Union[TierPolicy, str]] = None,
+                 backend: Optional[Union[ExecutionBackend, str]] = None):
         self.compiled = compiled
         self.layout = layout
         self.mode = mode
@@ -187,6 +191,10 @@ class Program:
         #: default tiering policy (``eager`` preserves the historical
         #: stitch-on-first-entry behavior; a ``run`` call can override).
         self.tier = TierPolicy.parse(tier)
+        #: the execution backend (name, instance, or None for the
+        #: default ``rvm``): owns host execution and per-install
+        #: artifact compilation for every run of this program.
+        self.backend = get_backend(backend)
         # Cached VM for repeated runs: building a multi-megaword memory
         # image and re-installing/re-resolving the code dominates the
         # host cost of short executions.  The cache holds the VM plus
@@ -232,6 +240,10 @@ class Program:
             self._vm = vm
             self._vm_words = memory_words
             self._vm_code_len = len(vm.code)
+            # Static image in place, labels resolved: let the backend
+            # compile it once (survives reset_for_rerun, amortizing
+            # across repeated runs of the same program).
+            self.backend.prepare_vm(vm, self._vm_code_len)
         self.layout.write_into(vm)
         return vm
 
@@ -266,9 +278,10 @@ class Program:
         for i, arg in enumerate(args or []):
             preload.append((ARG_BASE + i, arg))
         with obs_trace.span("vm.run", "vm", func=func, mode=self.mode,
-                            dispatch=dispatch) as span:
-            int_result, float_result = vm.run(entry_fn.base, preload,
-                                              dispatch=dispatch)
+                            dispatch=dispatch,
+                            backend=self.backend.name) as span:
+            int_result, float_result = self.backend.execute(
+                vm, entry_fn.base, preload, dispatch=dispatch)
             if span is not None:
                 span["cycles"] = vm.cycles
                 span["value"] = int_result
@@ -316,6 +329,7 @@ class Program:
             cold_entries=list(runtime.cold_entries),
             tier_stats=(runtime.tier.snapshot()
                         if runtime.tier is not None else {}),
+            backend=self.backend.name,
         )
 
 
@@ -330,8 +344,11 @@ class _RegionRuntime:
         self.program = program
         self.vm = vm
         self.faults = faults
-        #: the code cache: keyed versions, eviction, compaction.
-        self.cache: CodeCache = CodeCache(vm, cache_config, faults=faults)
+        #: the code cache: keyed versions, eviction, compaction.  The
+        #: program's backend hooks every install, so stitched entries
+        #: get their host artifact whichever path placed them.
+        self.cache: CodeCache = CodeCache(vm, cache_config, faults=faults,
+                                          backend=program.backend)
         self.reports: List[StitchReport] = []
         #: (func, region_id) -> entries (every lookup, hit or miss).
         self.entries: Dict[Tuple[str, int], int] = {}
@@ -469,7 +486,8 @@ class _RegionRuntime:
         if fb is None:
             fb = build_fallback(self.vm, self.program.compiled[func],
                                 self._regions[(func, region_id)],
-                                self.program.compiled)
+                                self.program.compiled,
+                                backend=self.program.backend)
             self.fallback_codes[(func, region_id)] = fb
             # The block lives inside the code arena's address range but
             # must survive compaction and stay out of cache capacity.
@@ -526,7 +544,8 @@ def compile_program(source: str, mode: str = "dynamic",
                     fault_plan: Optional[FaultPlan] = None,
                     stitch_budget: Optional[StitchBudget] = None,
                     breaker_config: Optional[BreakerConfig] = None,
-                    tier: Optional[Union[TierPolicy, str]] = None
+                    tier: Optional[Union[TierPolicy, str]] = None,
+                    backend: Optional[Union[ExecutionBackend, str]] = None
                     ) -> Program:
     """Compile MiniC source through the full static pipeline.
 
@@ -540,6 +559,9 @@ def compile_program(source: str, mode: str = "dynamic",
     graceful-degradation tier (see ``docs/ROBUSTNESS.md``).
     ``tier`` sets the default tiering policy (see ``docs/TIERING.md``;
     default eager, the historical stitch-on-first-entry behavior).
+    ``backend`` picks the execution backend (a registry name such as
+    ``"rvm"``/``"pycode"`` or an instance; see ``docs/BACKENDS.md``;
+    default rvm, the bit-exact oracle).
     """
     if mode not in ("dynamic", "static"):
         raise ValueError("mode must be 'dynamic' or 'static'")
@@ -562,7 +584,7 @@ def compile_program(source: str, mode: str = "dynamic",
                              fault_plan=fault_plan,
                              stitch_budget=stitch_budget,
                              breaker_config=breaker_config,
-                             tier=tier)
+                             tier=tier, backend=backend)
 
 
 def _refresh_plan_membership(func, plans: List[RegionPlan],
@@ -603,7 +625,8 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                       fault_plan: Optional[FaultPlan] = None,
                       stitch_budget: Optional[StitchBudget] = None,
                       breaker_config: Optional[BreakerConfig] = None,
-                      tier: Optional[Union[TierPolicy, str]] = None
+                      tier: Optional[Union[TierPolicy, str]] = None,
+                      backend: Optional[Union[ExecutionBackend, str]] = None
                       ) -> Program:
     """Compile an already-built IR module (for IR-level tests)."""
     opt_options = opt_options or OptOptions()
@@ -643,4 +666,4 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                    fault_plan=fault_plan,
                    stitch_budget=stitch_budget,
                    breaker_config=breaker_config,
-                   tier=tier)
+                   tier=tier, backend=backend)

@@ -80,11 +80,16 @@ class FallbackCode:
 
 class _FallbackBuilder:
     def __init__(self, vm, compiled: CompiledFunction, region: RegionCode,
-                 functions: Dict[str, CompiledFunction]):
+                 functions: Dict[str, CompiledFunction], backend=None):
         self.vm = vm
         self.compiled = compiled
         self.region = region
         self.functions = functions
+        #: execution backend the block installs through (None = plain
+        #: vm.install_code).  A degraded pycode run must get pycode
+        #: fallback code, not silently re-enter per-instruction rvm
+        #: dispatch with differently-shaped host behavior.
+        self.backend = backend
         self.owner = "fallback:%s:%d" % (region.func_name, region.region_id)
         self.out: List[MInstr] = []
         self.labels: Dict[str, int] = {}
@@ -276,7 +281,10 @@ class _FallbackBuilder:
                 self._emit_stub(name)
             else:
                 self._emit_block(name)
-        base = self.vm.install_code(self.out)
+        if self.backend is not None:
+            base = self.backend.install_block(self.vm, self.out)
+        else:
+            base = self.vm.install_code(self.out)
         for n, instr in enumerate(self.out):
             label = instr.label
             if label is None:
@@ -293,6 +301,12 @@ class _FallbackBuilder:
                 instr.target = callee.base
             else:
                 instr.target = base + self.labels[label]
+        if self.backend is not None:
+            # Targets are resolved only now, so the backend's artifact
+            # pass runs after the loop above, not inside install_block.
+            self.backend.block_installed(
+                self.vm, base, len(self.out),
+                base + self.labels[entry_label])
         return FallbackCode(
             func_name=self.region.func_name,
             region_id=self.region.region_id,
@@ -306,13 +320,17 @@ class _FallbackBuilder:
 
 
 def build_fallback(vm, compiled: CompiledFunction, region: RegionCode,
-                   functions: Dict[str, CompiledFunction]) -> FallbackCode:
+                   functions: Dict[str, CompiledFunction],
+                   backend=None) -> FallbackCode:
     """Materialize and install the generic fallback for ``region``.
 
     Lazy by design: the engine only calls this on a region's first
     stitch failure, so faults-disabled runs allocate no cells, install
-    no code, and stay bit-identical to the seed goldens."""
-    code = _FallbackBuilder(vm, compiled, region, functions).build()
+    no code, and stay bit-identical to the seed goldens.  ``backend``
+    routes the install through the execution-backend seam so degraded
+    runs keep backend-consistent host execution."""
+    code = _FallbackBuilder(vm, compiled, region, functions,
+                            backend=backend).build()
     if obs_metrics._enabled:
         region_label = "%s:%d" % (code.func_name, code.region_id)
         obs_metrics.counter("fallback.builds").labels(

@@ -14,7 +14,11 @@ bit-exact), and the final contents of every global (the program's
 memory effects).  The dynamic program is additionally run a second
 time on its cached VM (exercising the code-cache hit and the
 reset-for-rerun path) and, optionally, once more with the register-
-actions extension enabled.
+actions extension enabled.  A fourth standing leg repeats the dynamic
+configuration under the *other* registered execution backend (pycode
+when the primary is the default rvm, and vice versa), so every oracle
+run doubles as a bit-for-bit proof that the backend seam never
+changes a simulated observable.
 
 On top of value agreement, the oracle checks *stitch-report
 invariants* on every dynamic run:
@@ -37,6 +41,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..backends import get_backend
 from ..codecache import CacheConfig
 from ..faults import FaultPlan
 from ..frontend.errors import AnnotationError, CompileError
@@ -170,6 +175,7 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             cache_config: Optional[CacheConfig] = None,
             faults: Optional[str] = None,
             tier: Optional[str] = None,
+            backend: Optional[str] = None,
             ) -> Tuple[OracleOutcome, Optional[Program], list]:
     try:
         program = compile_program(
@@ -177,7 +183,7 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             use_reachability=use_reachability,
             stitcher_costs=stitcher_costs,
             register_actions=register_actions,
-            cache_config=cache_config, tier=tier)
+            cache_config=cache_config, tier=tier, backend=backend)
     except AnnotationError as exc:
         return (OracleOutcome(leg, "annotation-reject",
                               error="%s: %s" % (type(exc).__name__, exc)),
@@ -491,7 +497,9 @@ def run_oracle(source: str, args: List[int],
                max_cycles: int = 200_000_000,
                cache_config: Optional[CacheConfig] = None,
                faults: Optional[str] = None,
-               tier: Optional[str] = None) -> OracleReport:
+               tier: Optional[str] = None,
+               backend: Optional[str] = None,
+               backend_leg: bool = True) -> OracleReport:
     """Run all legs on ``main(args...)`` and compare.
 
     The interpreter is the semantic baseline; static and dynamic (and
@@ -511,17 +519,25 @@ def run_oracle(source: str, args: List[int],
     all observe bit-identical results and that the tiering invariant
     set (entries == hits + stitches + fallbacks + cold entries, no
     under-threshold promotions) holds whatever the policy decides.
+    ``backend`` names the execution backend for every VM leg (default
+    ``rvm``); when ``backend_leg`` is true the oracle adds one more
+    dynamic leg -- the same configuration under the *other* registered
+    backend (``pycode`` when the primary is ``rvm`` and vice versa) --
+    and compares it bit-for-bit against both the interpreter and the
+    primary dynamic leg, proving the backend seam never changes a
+    simulated observable.
     """
     divergences: List[Divergence] = []
+    primary = get_backend(backend).name
     interp = _interp_leg(source, args)
     static, _, _ = _vm_leg("static", source, args, "static",
                            opt_options=opt_options,
-                           max_cycles=max_cycles)
+                           max_cycles=max_cycles, backend=primary)
     dynamic, dyn_program, dyn_invariants = _vm_leg(
         "dynamic", source, args, "dynamic", opt_options=opt_options,
         use_reachability=use_reachability, runs=2,
         check_invariants=check_invariants, max_cycles=max_cycles,
-        cache_config=cache_config, faults=faults)
+        cache_config=cache_config, faults=faults, backend=primary)
     outcomes = {"interp": interp, "static": static, "dynamic": dynamic}
 
     _compare(interp, static, divergences)
@@ -533,13 +549,29 @@ def run_oracle(source: str, args: List[int],
         divergences.append(Divergence("invariant", "dynamic", "stitcher",
                                       failure))
 
+    if backend_leg:
+        other = "pycode" if primary != "pycode" else "rvm"
+        leg_name = "dynamic+%s" % other
+        cross, _, cross_invariants = _vm_leg(
+            leg_name, source, args, "dynamic", opt_options=opt_options,
+            use_reachability=use_reachability, runs=2,
+            check_invariants=check_invariants, max_cycles=max_cycles,
+            cache_config=cache_config, faults=faults, backend=other)
+        outcomes[leg_name] = cross
+        _compare(interp, cross, divergences)
+        if not any(leg_name in (d.left, d.right) for d in divergences):
+            _compare(dynamic, cross, divergences)
+        for failure in cross_invariants:
+            divergences.append(Divergence(
+                "invariant", leg_name, "stitcher", failure))
+
     if register_actions_leg:
         actions, _, action_invariants = _vm_leg(
             "dynamic+regactions", source, args, "dynamic",
             opt_options=opt_options, use_reachability=use_reachability,
             register_actions=True, check_invariants=check_invariants,
             max_cycles=max_cycles, cache_config=cache_config,
-            faults=faults)
+            faults=faults, backend=primary)
         outcomes["dynamic+regactions"] = actions
         _compare(interp, actions, divergences)
         for failure in action_invariants:
@@ -552,7 +584,7 @@ def run_oracle(source: str, args: List[int],
             opt_options=opt_options, use_reachability=use_reachability,
             runs=2, check_invariants=check_invariants,
             max_cycles=max_cycles, cache_config=cache_config,
-            faults=faults, tier=tier)
+            faults=faults, tier=tier, backend=primary)
         outcomes["dynamic+tiered"] = tiered
         _compare(interp, tiered, divergences)
         if not any("dynamic+tiered" in (d.left, d.right)

@@ -36,16 +36,40 @@ def corpus_tier(text: str):
     return match.group(1) if match else None
 
 
+def corpus_backend(text: str):
+    """Backend name from a reproducer's ``// backend:`` header, if any
+    -- written by the fuzzer when the divergence was found with a
+    non-default primary backend."""
+    match = re.search(r"^// backend:\s*(\S+)", text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
 @pytest.mark.parametrize(
     "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
 def test_corpus_reproducer_stays_fixed(path: Path) -> None:
     text = path.read_text()
     for arg in corpus_args(text):
-        report = run_oracle(text, [arg], tier=corpus_tier(text))
+        report = run_oracle(text, [arg], tier=corpus_tier(text),
+                            backend=corpus_backend(text))
         assert not report.annotation_reject, \
             "%s (arg %d): dynamic leg rejected: %s" \
             % (path.name, arg,
                [o.error for o in report.outcomes.values()])
+        assert not report.divergences, \
+            "%s (arg %d): %s" % (path.name, arg, report.divergences)
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
+def test_corpus_reproducer_stays_fixed_under_pycode(path: Path) -> None:
+    """Every known-tricky program replays bit-identically with the
+    pycode backend driving the primary dynamic legs (the cross-backend
+    leg then re-runs rvm, so both directions of the seam are proven
+    on the corpus)."""
+    text = path.read_text()
+    for arg in corpus_args(text):
+        report = run_oracle(text, [arg], tier=corpus_tier(text),
+                            backend="pycode")
         assert not report.divergences, \
             "%s (arg %d): %s" % (path.name, arg, report.divergences)
 
