@@ -43,8 +43,9 @@ from .opt.pipeline import OptOptions, OptStats
 from .runtime.engine import (
     Program, RunResult, compile_ir_module, compile_program,
 )
-from .runtime.guards import BreakerConfig, StitchBudget
+from .runtime.guards import BreakerConfig, StitchBudget, seeded_jitter
 from .runtime.interp import Interpreter, InterpError, run_source
+from .runtime.stitchqueue import QueuedEntry, QueueStats, StitchQueueConfig
 from .runtime.tiering import ColdEntry, TierPolicy
 from .dynamic.stitcher import StitchError, StitchReport
 
@@ -71,11 +72,14 @@ __all__ = [
     "OptStats",
     "ParseError",
     "Program",
+    "QueuedEntry",
+    "QueueStats",
     "ReproError",
     "RunResult",
     "StitchBudget",
     "StitchBudgetExceeded",
     "StitchError",
+    "StitchQueueConfig",
     "StitchReport",
     "StitcherCosts",
     "TierPolicy",
@@ -85,5 +89,6 @@ __all__ = [
     "compile_ir_module",
     "compile_program",
     "run_source",
+    "seeded_jitter",
     "__version__",
 ]

@@ -13,6 +13,7 @@ Usage::
     python -m repro program.c --fused-stitcher
     python -m repro program.c --faults all:0.1       # chaos run
     python -m repro program.c --tier breakeven       # adaptive tiering
+    python -m repro program.c --stitch-mode async    # queued stitching
 """
 
 from __future__ import annotations
@@ -79,6 +80,16 @@ def _build_parser() -> argparse.ArgumentParser:
                              "measured profile predicts the stitch "
                              "amortizes); options spec=K, versions=V, "
                              "speedup=F (see docs/TIERING.md)")
+    parser.add_argument("--stitch-mode", metavar="SPEC", default="sync",
+                        help="stitch scheduling: sync (default, stitch "
+                             "inline at region entry -- bit-identical "
+                             "to every committed golden) or "
+                             "async[:depth=N,drain=N,batch=N,"
+                             "deadline=C,retries=N,backoff=N,jitter=J,"
+                             "seed=S] -- queue stitch jobs and drain "
+                             "them on deterministic logical-clock "
+                             "ticks while entries run from the "
+                             "fallback tier (see docs/ROBUSTNESS.md)")
     parser.add_argument("--stats", action="store_true",
                         help="print the per-component cycle breakdown "
                              "and stitch reports")
@@ -181,6 +192,12 @@ def _run(args, source: str) -> int:
     except ValueError as exc:
         print("error: --tier %s" % exc, file=sys.stderr)
         return 2
+    from .runtime.stitchqueue import StitchQueueConfig
+    try:
+        stitch = StitchQueueConfig.parse(args.stitch_mode)
+    except ValueError as exc:
+        print("error: --stitch-mode %s" % exc, file=sys.stderr)
+        return 2
     from .backends import get_backend
     try:
         backend = get_backend(args.backend)
@@ -197,6 +214,7 @@ def _run(args, source: str) -> int:
             cache_config=cache_config,
             fault_plan=fault_plan,
             tier=tier,
+            stitch=stitch,
             backend=backend,
         )
     except CompileError as exc:
@@ -259,6 +277,21 @@ def _run(args, source: str) -> int:
                      snap["cold_entries"],
                      (", predicted breakeven %d" % predicted)
                      if predicted is not None else ""))
+
+    qs = result.queue_stats
+    if qs is not None:
+        print("stitchq[%s]: %d enqueued, %d landed, %d shed "
+              "(%d dropped), %d expired, %d cancelled, %d retries, "
+              "%d pending, max depth %d, %d drains"
+              % (qs.config, qs.enqueued, qs.landed, qs.shed,
+                 qs.dropped, qs.expired, qs.total_cancelled, qs.retries,
+                 qs.pending, qs.max_depth, qs.drains))
+        if qs.land_latencies:
+            lats = sorted(qs.land_latencies)
+            print("  entries-to-land: min %d, median %d, max %d"
+                  % (lats[0], lats[len(lats) // 2], lats[-1]))
+        for reason, count in sorted(qs.cancelled.items()):
+            print("  cancelled[%s]: %d" % (reason, count))
 
     if result.fallbacks or result.fault_counts:
         by_reason = {}

@@ -116,6 +116,16 @@ class CodeCache:
         #: range but are not cache entries (see :meth:`reserve`).
         self._reserved: List[Tuple[int, int]] = []
         self._reserved_words = 0
+        #: async-stitching hooks (set by the engine when a stitch
+        #: queue is active): ``on_invalidate(func, region_id)`` lets
+        #: the queue cancel a region's in-flight jobs when its table
+        #: fingerprint changes; ``on_evict(key)`` cancels a key's job
+        #: when its installed code is evicted; ``pin_probe(region)``
+        #: returns True while the region has jobs in flight, pinning
+        #: its installed code against eviction until they land.
+        self.on_invalidate = None
+        self.on_evict = None
+        self.pin_probe = None
         #: memoized labeled counter children for the hot hit/miss
         #: sites: one dict probe per lookup instead of label
         #: resolution (registry.reset() keeps instrument identity,
@@ -262,7 +272,10 @@ class CodeCache:
         if not self.config.bounded:
             return
         while self._over_capacity(incoming_words):
-            candidates = [e for e in self.entries.values() if not e.pinned]
+            probe = self.pin_probe
+            candidates = [e for e in self.entries.values()
+                          if not e.pinned
+                          and (probe is None or not probe(e.key.region))]
             if not candidates:
                 break  # everything pinned: overflow softly
             self._evict(self.policy.victim(candidates, self.tick))
@@ -275,6 +288,8 @@ class CodeCache:
         del self.entries[entry.key]
         self._release(entry)
         self._evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(entry.key)
         if obs_metrics._enabled:
             obs_metrics.counter("cache.evictions").labels(
                 region="%s:%d" % (entry.key.func, entry.key.region_id),
@@ -301,6 +316,8 @@ class CodeCache:
             for key in [k for k in mapping if k.region == region]:
                 del mapping[key]
         self._invalidations += 1
+        if self.on_invalidate is not None:
+            self.on_invalidate(func, region_id)
         if obs_metrics._enabled:
             obs_metrics.counter("cache.invalidations").inc()
         if obs_trace._current is not None:

@@ -5,6 +5,6 @@ See :mod:`repro.faults.plan` for the site catalog and semantics, and
 exercise.
 """
 
-from .plan import FAULT_SITES, FaultPlan
+from .plan import FAULT_SITES, NON_RAISING_SITES, FaultPlan
 
-__all__ = ["FAULT_SITES", "FaultPlan"]
+__all__ = ["FAULT_SITES", "NON_RAISING_SITES", "FaultPlan"]

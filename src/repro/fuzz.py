@@ -32,6 +32,7 @@ from .backends import get_backend
 from .codecache import CacheConfig
 from .faults import FaultPlan
 from .obs import trace as obs_trace
+from .runtime.stitchqueue import StitchQueueConfig
 from .runtime.tiering import TierPolicy
 from .testing.ablate import (
     format_reproducer, localize_divergence, shrink_program,
@@ -76,6 +77,36 @@ def random_tier_policy(seed: int, iteration: int) -> Optional[str]:
         spec += ",spec=%d,versions=%d" % (rng.randint(1, 2),
                                           rng.randint(1, 4))
     return spec
+
+
+def random_stitch_config(seed: int, iteration: int) -> Optional[str]:
+    """A deterministic stitch-queue spec for one fuzz iteration (or
+    None for the default synchronous stitching), so the async job
+    lifecycle -- enqueue, deterministic drain, priority shed, retry
+    backoff, deadline expiry, cancellation -- gets exercised alongside
+    the historical stitch-at-entry path.  Independent mixer so stitch
+    x tier x cache x backend combinations cover the cross product."""
+    rng = random.Random(seed * 15485863 + iteration * 37 + 11)
+    roll = rng.random()
+    if roll < 0.45:
+        return None  # sync: the historical path
+    parts = []
+    depth = rng.choice([1, 2, 4, 8])
+    if depth != 8:
+        parts.append("depth=%d" % depth)
+    drain = rng.choice([1, 2, 4, 6])
+    if drain != 4:
+        parts.append("drain=%d" % drain)
+    batch = rng.choice([1, 1, 2])
+    if batch != 1:
+        parts.append("batch=%d" % batch)
+    if rng.random() < 0.30:
+        parts.append("deadline=%d" % rng.choice([2_000, 20_000]))
+    if rng.random() < 0.30:
+        parts.append("retries=%d" % rng.randint(0, 3))
+        parts.append("jitter=%d" % rng.randint(0, 3))
+        parts.append("seed=%d" % rng.randint(0, 7))
+    return "async" + (":" + ",".join(parts) if parts else "")
 
 
 def random_backend(seed: int, iteration: int) -> Optional[str]:
@@ -128,6 +159,7 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
              cache_config: Optional[CacheConfig] = None,
              faults: Optional[str] = None,
              tier: Optional[str] = None,
+             stitch: Optional[str] = None,
              backend: Optional[str] = None,
              health_log: Optional[List[str]] = None):
     """Generate and check one program.
@@ -139,8 +171,10 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     True when the dynamic path legitimately refused the region shape
     for some argument (the splitter's AnnotationError).
     ``cache_config``, ``faults`` (a fault-injection spec, see
-    :meth:`FaultPlan.parse`) and ``tier`` (a tiering spec, see
-    :meth:`TierPolicy.parse`) apply to the oracle's dynamic legs;
+    :meth:`FaultPlan.parse`), ``tier`` (a tiering spec, see
+    :meth:`TierPolicy.parse`) and ``stitch`` (a stitch-queue spec,
+    see :meth:`StitchQueueConfig.parse`) apply to the oracle's
+    dynamic legs;
     ``backend`` picks the primary execution backend (the oracle's
     cross-backend leg covers the other one either way).
     When ``health_log`` is given, every oracle report is additionally
@@ -154,7 +188,7 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
     for arg in program.args:
         report = run_oracle(source, [arg], max_cycles=max_cycles,
                             cache_config=cache_config, faults=faults,
-                            tier=tier, backend=backend)
+                            tier=tier, stitch=stitch, backend=backend)
         rejected = rejected or report.annotation_reject
         if health_log is not None and not report.compile_error:
             for flag in health_flags(report, bool(faults)):
@@ -170,15 +204,17 @@ def fuzz_one(seed: int, iteration: int, max_stmts: int = 14,
 def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
                    max_cycles: int, faults: Optional[str] = None,
                    tier: Optional[str] = None,
+                   stitch: Optional[str] = None,
                    backend: Optional[str] = None) -> int:
     """Replay every ``*.c`` reproducer in ``directory`` through the
     oracle, optionally under a bounded cache, injected faults, an
     adaptive tiering policy and/or a non-default execution backend --
     the CI proof that neither eviction nor graceful degradation nor
-    tiering nor the backend seam ever changes program results on
-    known-tricky programs.  A reproducer saved with a ``// tier:`` or
-    ``// backend:`` header replays under that recorded configuration
-    (it overrides ``tier`` / ``backend``)."""
+    tiering nor async stitch queueing nor the backend seam ever
+    changes program results on known-tricky programs.  A reproducer
+    saved with a ``// tier:``, ``// stitch:`` or ``// backend:``
+    header replays under that recorded configuration (it overrides
+    ``tier`` / ``stitch`` / ``backend``)."""
     import glob
     import re
 
@@ -191,6 +227,8 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
         label += " faults=%s" % faults
     if tier:
         label += " tier=%s" % tier
+    if stitch:
+        label += " stitch=%s" % stitch
     if backend:
         label += " backend=%s" % backend
     failures = 0
@@ -202,6 +240,9 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
                     if match else []) or [0]
         tier_match = re.search(r"^// tier:\s*(\S+)", text, re.MULTILINE)
         file_tier = tier_match.group(1) if tier_match else tier
+        stitch_match = re.search(r"^// stitch:\s*(\S+)", text,
+                                 re.MULTILINE)
+        file_stitch = stitch_match.group(1) if stitch_match else stitch
         backend_match = re.search(r"^// backend:\s*(\S+)", text,
                                   re.MULTILINE)
         file_backend = (backend_match.group(1) if backend_match
@@ -209,7 +250,8 @@ def _replay_corpus(directory: str, cache_config: Optional[CacheConfig],
         for arg in arg_list:
             report = run_oracle(text, [arg], max_cycles=max_cycles,
                                 cache_config=cache_config, faults=faults,
-                                tier=file_tier, backend=file_backend)
+                                tier=file_tier, stitch=file_stitch,
+                                backend=file_backend)
             if report.annotation_reject or report.ok:
                 continue
             failures += 1
@@ -275,6 +317,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-tier-fuzz", action="store_true",
                         help="always run eager tiering (pre-tiering "
                              "behavior: no adaptive oracle leg)")
+    parser.add_argument("--stitch", default=None, metavar="SPEC",
+                        help="fix the stitch-queue config for the "
+                             "oracle's dynamic legs (sync | "
+                             "async[:depth=N,drain=N,...], see "
+                             "StitchQueueConfig.parse) instead of "
+                             "fuzzing a random queue per iteration")
+    parser.add_argument("--no-stitch-fuzz", action="store_true",
+                        help="always stitch synchronously at region "
+                             "entry (pre-queue behavior)")
     parser.add_argument("--backend", default=None, metavar="NAME",
                         help="fix the primary execution backend (rvm or "
                              "pycode) instead of randomizing it per "
@@ -297,6 +348,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         FaultPlan.parse(args.faults)  # fail fast on a bad spec
     if args.tier is not None:
         TierPolicy.parse(args.tier)  # fail fast on a bad spec
+    if args.stitch is not None:
+        StitchQueueConfig.parse(args.stitch)  # fail fast on a bad spec
     if args.backend is not None:
         try:
             get_backend(args.backend)  # fail fast on an unknown name
@@ -306,7 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.replay is not None:
         return _replay_corpus(args.replay, fixed_cache, args.max_cycles,
                               faults=args.faults, tier=args.tier,
-                              backend=args.backend)
+                              stitch=args.stitch, backend=args.backend)
 
     corpus_dir = args.corpus_dir
     if corpus_dir is None:
@@ -342,6 +395,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             tier_spec = args.tier
         else:
             tier_spec = random_tier_policy(args.seed, i)
+        if args.no_stitch_fuzz:
+            stitch_spec: Optional[str] = None
+        elif args.stitch is not None:
+            stitch_spec = args.stitch
+        else:
+            stitch_spec = random_stitch_config(args.seed, i)
         if args.no_backend_fuzz:
             backend_spec: Optional[str] = None
         elif args.backend is not None:
@@ -351,8 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         program, bad, rejected = fuzz_one(
             args.seed, i, max_stmts=args.max_stmts,
             max_cycles=args.max_cycles, cache_config=cache_config,
-            faults=args.faults, tier=tier_spec, backend=backend_spec,
-            health_log=health_log)
+            faults=args.faults, tier=tier_spec, stitch=stitch_spec,
+            backend=backend_spec, health_log=health_log)
         # Snapshot the tail now, before ablation/shrinking reruns
         # overwrite the ring with events from other programs.
         trace_tail = list(tracer.events) if tracer is not None else []
@@ -377,14 +436,44 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         divergences += 1
         print("=" * 70)
-        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s%s%s%s"
+        print("iter %d (seed %d): DIVERGENCE with args=%s cache=%s%s%s%s%s"
               % (i, args.seed, bad.args,
                  cache_config.describe() if cache_config else "unbounded",
                  " faults=%s" % args.faults if args.faults else "",
                  " tier=%s" % tier_spec if tier_spec else "",
+                 " stitch=%s" % stitch_spec if stitch_spec else "",
                  " backend=%s" % backend_spec if backend_spec else ""))
         for divergence in bad.divergences:
             print("  " + str(divergence))
+        if stitch_spec is not None:
+            # Is the bug queue-specific?  Ablation/shrink reruns stitch
+            # synchronously, so a divergence that needs async queueing
+            # must keep its original program and queue spec.
+            recheck = run_oracle(program.source, bad.args,
+                                 max_cycles=args.max_cycles,
+                                 cache_config=cache_config,
+                                 faults=args.faults, tier=tier_spec,
+                                 backend=backend_spec)
+            if recheck.ok:
+                print("  divergence requires stitch=%s (vanishes sync); "
+                      "writing unshrunk reproducer" % stitch_spec)
+                os.makedirs(corpus_dir, exist_ok=True)
+                name = "seed%d_iter%03d_stitch.c" % (args.seed, i)
+                path = os.path.join(corpus_dir, name)
+                with open(path, "w") as handle:
+                    handle.write("// stitch: %s\n" % stitch_spec)
+                    if tier_spec:
+                        handle.write("// tier: %s\n" % tier_spec)
+                    if backend_spec:
+                        handle.write("// backend: %s\n" % backend_spec)
+                    if args.faults:
+                        handle.write("// faults: %s\n" % args.faults)
+                    if cache_config is not None:
+                        handle.write("// cache: %s\n"
+                                     % cache_config.describe())
+                    handle.write(format_reproducer(program, bad, None))
+                print("  wrote %s" % path)
+                continue
         if tier_spec is not None:
             # Is the bug tiering-specific?  Ablation/shrink reruns run
             # eager, so a divergence that needs the adaptive leg must

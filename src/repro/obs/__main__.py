@@ -302,6 +302,13 @@ def _cmd_compare(args) -> int:
     for benchmark in benchmarks:
         candidate = None
         if args.run:
+            try:
+                # Fail fast on a missing/empty trajectory before
+                # spending time collecting a fresh candidate.
+                history_mod.require_trajectory(benchmark, directory)
+            except history_mod.HistoryError as exc:
+                print("error: %s" % exc, file=sys.stderr)
+                return 2
             print("collecting %s ..." % benchmark, file=sys.stderr)
             candidate = history_mod.collect(benchmark,
                                             quick=not args.full)

@@ -1,7 +1,8 @@
 """The perf-trajectory flight recorder: record + compare benchmarks.
 
 Each supported benchmark (``hostperf``, ``cachepressure``,
-``tiering``) appends timestamped entries to a ``BENCH_<name>.json``
+``tiering``, ``stitchqueue``) appends timestamped entries to a
+``BENCH_<name>.json``
 trajectory file (for hostperf, the existing ``BENCH_hostperf.json``
 gains a ``"trajectory"`` key next to its baseline/current snapshots).
 An entry is ``{"recorded_at", "meta", "rows"}`` where ``rows`` maps a
@@ -51,6 +52,12 @@ GATES: Dict[str, Tuple[Tuple[str, str, bool], ...]] = {
         ("tiered_cycles", "lower", False),
         ("eager_cycles", "lower", False),
         ("tiered_stitches", "lower", False),
+    ),
+    "stitchqueue": (
+        ("async_cycles", "lower", False),
+        ("latency_median", "lower", False),
+        ("shed", "lower", False),
+        ("completed_cycles", "lower", False),
     ),
 }
 
@@ -266,10 +273,37 @@ def _collect_tiering(tier_spec: str = "breakeven",
     return rows
 
 
+def _collect_stitchqueue(**_kw) -> Dict[str, Dict[str, object]]:
+    """The async-stitching cells plus the hang gate, straight from
+    :mod:`repro.bench.stitchqueue` (the same measurement core the
+    ``benchmarks/bench_stitchqueue.py`` CI gate runs).  The hang gate
+    must pass before anything is recorded: a trajectory entry from a
+    wedged or silently-degraded run would poison the baseline pool."""
+    from ..bench.stitchqueue import check_hang, hang_gate, measure
+
+    rows: Dict[str, Dict[str, object]] = {}
+    for cell in measure():
+        name = str(cell.pop("cell"))
+        rows[name] = cell
+    hang = hang_gate()
+    problems = check_hang(hang)
+    if problems:
+        raise AssertionError("stitch-queue hang gate failed: "
+                             + "; ".join(problems))
+    rows["hang gate"] = {
+        "completed_cycles": hang["completed_cycles"],
+        "hung": hang["hung"],
+        "expired": hang["expired"],
+        "breaker_trips": hang["breaker_trips"],
+    }
+    return rows
+
+
 _COLLECTORS: Dict[str, Callable[..., Dict[str, Dict[str, object]]]] = {
     "hostperf": _collect_hostperf,
     "cachepressure": _collect_cachepressure,
     "tiering": _collect_tiering,
+    "stitchqueue": _collect_stitchqueue,
 }
 
 
@@ -337,6 +371,23 @@ class Comparison:
                 "deltas": [d.to_dict() for d in self.deltas]}
 
 
+def require_trajectory(benchmark: str,
+                       directory: Optional[Path] = None) -> Path:
+    """The benchmark's trajectory path, or a one-line
+    :class:`HistoryError` telling the user how to create it when the
+    file is missing or holds no entries yet."""
+    path = trajectory_path(benchmark, directory)
+    if not Path(path).exists():
+        raise HistoryError(
+            "%s: no trajectory file -- record a baseline first with "
+            "`python -m repro.obs record %s`" % (path, benchmark))
+    if not load_trajectory(path):
+        raise HistoryError(
+            "%s: trajectory is empty -- record a baseline first with "
+            "`python -m repro.obs record %s`" % (path, benchmark))
+    return path
+
+
 def compare(benchmark: str,
             directory: Optional[Path] = None,
             candidate_rows: Optional[Dict[str, Dict[str, object]]] = None,
@@ -350,13 +401,9 @@ def compare(benchmark: str,
     fresh rows (``record --run``-style), every committed entry is
     eligible baseline.
     """
-    path = trajectory_path(benchmark, directory)
+    path = require_trajectory(benchmark, directory)
     trajectory = load_trajectory(path)
     if candidate_rows is None:
-        if not trajectory:
-            raise HistoryError("%s: empty trajectory -- run "
-                               "`repro.obs record %s` first"
-                               % (path, benchmark))
         candidate_rows = trajectory[-1].get("rows", {})
         pool = trajectory[:-1]
     else:

@@ -17,7 +17,8 @@ Each sample point is ``(entries, cycles, value)`` where ``entries`` is
 the sampler's region-entry clock and ``cycles`` the VM's simulated
 cycle counter at the sample instant.  From the raw series the sampler
 derives rates and ratios between consecutive samples: cache hit ratio,
-promotion rate, fallback ratio, and evictions per kilocycle.
+promotion rate, fallback ratio, evictions per kilocycle, and the
+stitch queue's mean entries-to-land latency.
 
 When a tracer is installed each sample additionally emits Perfetto
 counter tracks (``ph: "C"``, category ``telemetry``) into the Chrome
@@ -59,6 +60,14 @@ _PER_ENTRY_RATES = (
 )
 _PER_KCYCLE_RATES = (
     ("cache.evictions_per_kcycle", "cache.evictions"),
+)
+#: Quotients of two counter deltas: mean value per event inside the
+#: window.  ``stitchq.entries_to_land`` divides the summed queue
+#: latency (in region entries) by the jobs landed, so a climbing curve
+#: means stitches are waiting longer behind the drain clock.
+_QUOTIENTS = (
+    ("stitchq.entries_to_land", "stitchq.latency_entries",
+     "stitchq.landed"),
 )
 
 
@@ -224,6 +233,16 @@ class TimeSeriesSampler:
                 if de > 0:
                     dn = value_at(np, e1) - value_at(np, e0)
                     pts.append([e1, c1, dn / de])
+            emit(name, pts)
+
+        for name, num, den in _QUOTIENTS:
+            np, dp = self._points(num), self._points(den)
+            pts = []
+            for e0, e1, _c0, c1 in windows():
+                dd = value_at(dp, e1) - value_at(dp, e0)
+                if dd > 0:
+                    dn = value_at(np, e1) - value_at(np, e0)
+                    pts.append([e1, c1, dn / dd])
             emit(name, pts)
 
         for name, num in _PER_KCYCLE_RATES:

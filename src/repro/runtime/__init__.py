@@ -3,10 +3,14 @@ interpreter used as the semantic oracle."""
 
 from .engine import Program, RunResult, compile_ir_module, compile_program
 from .interp import Interpreter, InterpError, run_source
+from .stitchqueue import (
+    QueuedEntry, QueueStats, StitchJob, StitchQueue, StitchQueueConfig,
+)
 from .tiering import ColdEntry, TierController, TierPolicy
 
 __all__ = [
-    "ColdEntry", "Interpreter", "InterpError", "Program", "RunResult",
-    "TierController", "TierPolicy",
+    "ColdEntry", "Interpreter", "InterpError", "Program", "QueuedEntry",
+    "QueueStats", "RunResult", "StitchJob", "StitchQueue",
+    "StitchQueueConfig", "TierController", "TierPolicy",
     "compile_ir_module", "compile_program", "run_source",
 ]

@@ -48,6 +48,9 @@ from ..obs.metrics import registry as obs_metrics
 from ..opt.pipeline import OptOptions, OptStats, optimize
 from .fallback import FallbackCode, build_fallback
 from .guards import BreakerConfig, RegionBreaker, StitchBudget
+from .stitchqueue import (
+    QueuedEntry, QueueStats, StitchJob, StitchQueue, StitchQueueConfig,
+)
 from .tiering import ColdEntry, TierController, TierPolicy
 
 Number = Union[int, float]
@@ -129,6 +132,11 @@ class RunResult:
     #: entries, per-key counters...); empty for eager runs.
     tier_stats: Dict[Tuple[str, int], Dict[str, object]] = field(
         default_factory=dict)
+    #: region entries served from fallback because their stitch was
+    #: queued (async mode only -- the oracle's fifth entry class).
+    queued_entries: List[QueuedEntry] = field(default_factory=list)
+    #: async stitch-queue accounting; None for sync runs.
+    queue_stats: Optional[QueueStats] = None
     #: registry name of the execution backend that produced this run.
     backend: str = "rvm"
 
@@ -171,6 +179,7 @@ class Program:
                  stitch_budget: Optional[StitchBudget] = None,
                  breaker_config: Optional[BreakerConfig] = None,
                  tier: Optional[Union[TierPolicy, str]] = None,
+                 stitch: Optional[Union[StitchQueueConfig, str]] = None,
                  backend: Optional[Union[ExecutionBackend, str]] = None):
         self.compiled = compiled
         self.layout = layout
@@ -191,6 +200,10 @@ class Program:
         #: default tiering policy (``eager`` preserves the historical
         #: stitch-on-first-entry behavior; a ``run`` call can override).
         self.tier = TierPolicy.parse(tier)
+        #: default stitch-queue configuration (``sync`` -- the
+        #: historical inline stitch -- unless a run overrides it; see
+        #: :mod:`repro.runtime.stitchqueue`).
+        self.stitch = StitchQueueConfig.parse(stitch)
         #: the execution backend (name, instance, or None for the
         #: default ``rvm``): owns host execution and per-install
         #: artifact compilation for every run of this program.
@@ -253,7 +266,9 @@ class Program:
             dispatch: str = "threaded",
             cache: Optional[CacheConfig] = None,
             fault_plan: Optional[FaultPlan] = None,
-            tier: Optional[Union[TierPolicy, str]] = None) -> RunResult:
+            tier: Optional[Union[TierPolicy, str]] = None,
+            stitch: Optional[Union[StitchQueueConfig, str]] = None
+            ) -> RunResult:
         """Run ``func(*args)``; ``dispatch`` picks the VM execution
         engine ("threaded" predecoded fast path, or the retained
         "naive" decode loop -- equivalent by construction and by
@@ -261,14 +276,21 @@ class Program:
         configuration for this execution, ``fault_plan`` the fault
         schedule (default: the program's own plan, usually None),
         ``tier`` the tiering policy (a :class:`TierPolicy` or spec
-        string; default: the program's policy, usually eager)."""
+        string; default: the program's policy, usually eager),
+        ``stitch`` the stitch-queue mode (a
+        :class:`StitchQueueConfig` or spec string; default: the
+        program's config, usually ``sync`` -- the historical inline
+        stitch)."""
         vm = self._acquire_vm(memory_words, max_cycles)
         faults = fault_plan if fault_plan is not None else self.fault_plan
         fault_baseline = dict(faults.counts) if faults is not None else {}
         tier_policy = TierPolicy.parse(tier) if tier is not None \
             else self.tier
+        stitch_config = StitchQueueConfig.parse(stitch) \
+            if stitch is not None else self.stitch
         runtime = _RegionRuntime(self, vm, cache or self.cache_config,
-                                 faults=faults, tier=tier_policy)
+                                 faults=faults, tier=tier_policy,
+                                 stitch=stitch_config)
         vm.rt_handlers["region_lookup"] = runtime.lookup
         vm.rt_handlers["region_stitch"] = runtime.stitch
         entry_fn = self.compiled.get(func)
@@ -329,6 +351,9 @@ class Program:
             cold_entries=list(runtime.cold_entries),
             tier_stats=(runtime.tier.snapshot()
                         if runtime.tier is not None else {}),
+            queued_entries=list(runtime.queued_entries),
+            queue_stats=(runtime.queue.snapshot()
+                         if runtime.queue is not None else None),
             backend=self.backend.name,
         )
 
@@ -340,7 +365,8 @@ class _RegionRuntime:
     def __init__(self, program: Program, vm: VM,
                  cache_config: Optional[CacheConfig] = None,
                  faults: Optional[FaultPlan] = None,
-                 tier: Optional[TierPolicy] = None):
+                 tier: Optional[TierPolicy] = None,
+                 stitch: Optional[StitchQueueConfig] = None):
         self.program = program
         self.vm = vm
         self.faults = faults
@@ -378,6 +404,25 @@ class _RegionRuntime:
             self.tier = TierController(tier, vm, self._regions,
                                        program.stitcher_costs,
                                        faults=faults)
+        #: region entries served from fallback because their stitch
+        #: was queued (async mode only).
+        self.queued_entries: List[QueuedEntry] = []
+        #: the async stitch queue; None for sync runs, which therefore
+        #: take exactly the historical inline-stitch code path.
+        self.queue: Optional[StitchQueue] = None
+        if stitch is not None and stitch.asynchronous:
+            queue = self.queue = StitchQueue(stitch, vm, faults=faults)
+            queue.on_deadline = self._on_job_deadline
+            # In-flight jobs pin their region's installed code: the
+            # cache must not evict what a queued compilation is about
+            # to join, and a fingerprint invalidation or eviction
+            # cancels the obsolete jobs.
+            self.cache.pin_probe = queue.region_in_flight
+            self.cache.on_invalidate = \
+                lambda f, r: queue.cancel_region(f, r, "invalidate")
+            self.cache.on_evict = \
+                lambda key: queue.cancel_key(key.func, key.region_id,
+                                             key.key, "evict")
 
     def lookup(self, vm: VM, instr: MInstr) -> int:
         func, region_id = instr.extra  # type: ignore[misc]
@@ -399,6 +444,11 @@ class _RegionRuntime:
         tier = self.tier
         if tier is not None:
             tier.on_entry(func, region_id, key.key)
+        if self.queue is not None:
+            # The background compiler's logical clock: every region
+            # entry ticks it; a due tick drains the queue (watchdog +
+            # readiness) before this entry is served.
+            self.queue.on_entry()
         cached = self.cache.lookup(key)
         if cached is None:
             # Miss: the dispatch glue falls through to region_stitch,
@@ -433,6 +483,34 @@ class _RegionRuntime:
         tier = self.tier
         if tier is not None and not tier.decide(func, region_id, key):
             return self._cold(func, region_id, key, table_addr)
+        queue = self.queue
+        job: Optional[StitchJob] = None
+        if queue is not None:
+            # Async mode: the promotion decision above became an
+            # *enqueue* decision.  A miss with no job admits one and
+            # is served from fallback; a miss whose job is still
+            # pending keeps waiting; only a *ready* job stitches here,
+            # against this entry's fresh table (tables are entry-local
+            # -- the same reason tiering promotions land one entry
+            # late), charging the stitcher owner at completion time.
+            job = queue.get(func, region_id, key)
+            if job is None:
+                priority = tier.count(func, region_id, key) \
+                    if tier is not None \
+                    else queue.key_count(func, region_id, key)
+                phase = queue.enqueue(func, region_id, key, priority)
+                return self._queued(func, region_id, key, table_addr,
+                                    phase)
+            if job.state != "ready":
+                phase = "hung" if job.state == "hung" else "waiting"
+                return self._queued(func, region_id, key, table_addr,
+                                    phase)
+            if self.faults is not None and self.faults.should_fire(
+                    "stitch.hang", region=(func, region_id)):
+                queue.mark_hung(job)
+                return self._queued(func, region_id, key, table_addr,
+                                    "hung")
+            queue.landing = job
         host_start = time.perf_counter()
         try:
             entry = stitch_entry(
@@ -449,6 +527,13 @@ class _RegionRuntime:
             # (and the region, once the breaker trips) to the static
             # fallback instead of killing the run.
             breaker.on_failure()
+            if queue is not None and job is not None:
+                queue.landing = None
+                queue.on_land_failure(job)
+                if not breaker.should_attempt():
+                    # The breaker tripped: the region is pinned static
+                    # for the cooldown, so its queued work is moot.
+                    queue.cancel_region(func, region_id, "breaker")
             injected = bool(getattr(exc, "injected", False))
             if isinstance(exc, StitchBudgetExceeded):
                 reason = "budget"
@@ -459,6 +544,9 @@ class _RegionRuntime:
             return self._fallback(func, region_id, key, table_addr,
                                   reason=reason, injected=injected)
         breaker.on_success()
+        if queue is not None and job is not None:
+            queue.landing = None
+            queue.land(job)
         if tier is not None:
             tier.on_promote(func, region_id, key, entry)
         report = entry.report
@@ -509,6 +597,38 @@ class _RegionRuntime:
         tier.on_cold(func, region_id, key)
         return fb.entry
 
+    def _queued(self, func: str, region_id: int,
+                key: Tuple[Number, ...], table_addr: int,
+                phase: str) -> int:
+        """Serve a region entry from fallback because its stitch is
+        queued (or was shed): the async tier's steady state while the
+        background compiler catches up."""
+        fb = self._fallback_code(func, region_id)
+        self.vm.store(fb.table_cell, table_addr)
+        if self.tier is not None:
+            self.tier.on_queued(func, region_id, key)
+        self.queued_entries.append(
+            QueuedEntry(func, region_id, key, phase, fb.entry))
+        if obs_metrics._enabled:
+            obs_metrics.counter("stitchq.entries").labels(
+                phase=phase).inc()
+        return fb.entry
+
+    def _on_job_deadline(self, job: StitchJob) -> None:
+        """Watchdog: a queued job blew its simulated-cycle deadline.
+        That is a compilation failure like any other -- it feeds the
+        region's breaker, and a trip flushes the region's queue."""
+        region = (job.func_name, job.region_id)
+        breaker = self.breakers.get(region)
+        if breaker is None:
+            breaker = RegionBreaker(self.program.breaker_config,
+                                    job.func_name, job.region_id)
+            self.breakers[region] = breaker
+        breaker.on_failure()
+        if not breaker.should_attempt() and self.queue is not None:
+            self.queue.cancel_region(job.func_name, job.region_id,
+                                     "breaker")
+
     def _fallback(self, func: str, region_id: int,
                   key: Tuple[Number, ...], table_addr: int,
                   reason: str, injected: bool) -> int:
@@ -545,6 +665,7 @@ def compile_program(source: str, mode: str = "dynamic",
                     stitch_budget: Optional[StitchBudget] = None,
                     breaker_config: Optional[BreakerConfig] = None,
                     tier: Optional[Union[TierPolicy, str]] = None,
+                    stitch: Optional[Union[StitchQueueConfig, str]] = None,
                     backend: Optional[Union[ExecutionBackend, str]] = None
                     ) -> Program:
     """Compile MiniC source through the full static pipeline.
@@ -584,7 +705,7 @@ def compile_program(source: str, mode: str = "dynamic",
                              fault_plan=fault_plan,
                              stitch_budget=stitch_budget,
                              breaker_config=breaker_config,
-                             tier=tier, backend=backend)
+                             tier=tier, stitch=stitch, backend=backend)
 
 
 def _refresh_plan_membership(func, plans: List[RegionPlan],
@@ -626,6 +747,7 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                       stitch_budget: Optional[StitchBudget] = None,
                       breaker_config: Optional[BreakerConfig] = None,
                       tier: Optional[Union[TierPolicy, str]] = None,
+                      stitch: Optional[Union[StitchQueueConfig, str]] = None,
                       backend: Optional[Union[ExecutionBackend, str]] = None
                       ) -> Program:
     """Compile an already-built IR module (for IR-level tests)."""
@@ -666,4 +788,4 @@ def compile_ir_module(module: Module, mode: str = "dynamic",
                    fault_plan=fault_plan,
                    stitch_budget=stitch_budget,
                    breaker_config=breaker_config,
-                   tier=tier, backend=backend)
+                   tier=tier, stitch=stitch, backend=backend)

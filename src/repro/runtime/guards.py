@@ -15,7 +15,13 @@ down (see ``docs/ROBUSTNESS.md``):
   the static fallback for ``backoff`` region entries; each re-trip
   while the streak is unbroken doubles the cooldown (exponential
   backoff measured in region-entry counts, the only clock the
-  simulated runtime has).  One success fully resets the breaker.
+  simulated runtime has) up to ``max_cooldown``, optionally spread by
+  :func:`seeded_jitter`.  One success fully resets the breaker.
+
+:func:`seeded_jitter` is the deterministic jitter source shared by
+the breaker and the async stitch queue's retry backoff (see
+``repro.runtime.stitchqueue``): a stable hash, never host randomness,
+so jittered schedules replay bit-identically from their seed.
 
 Both are pure host-side bookkeeping: with no failures they never
 change a simulated cycle or address, so faults-disabled runs stay
@@ -24,11 +30,27 @@ bit-identical to the seed goldens.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
 from ..obs import trace as obs_trace
 from ..obs.metrics import registry as obs_metrics
+
+
+def seeded_jitter(seed: int, token, spread: int) -> int:
+    """Deterministic jitter in ``[0, spread]``.
+
+    A stable CRC32 of ``(seed, token)`` -- not ``hash()``, which is
+    salted per process, and not ``random``, which would entangle
+    schedules that must stay independent.  ``token`` is any repr-able
+    discriminator (region, key, attempt number...); ``spread <= 0``
+    disables jitter entirely.
+    """
+    if spread <= 0:
+        return 0
+    digest = zlib.crc32(repr((seed, token)).encode("utf-8"))
+    return digest % (spread + 1)
 
 
 @dataclass(frozen=True)
@@ -55,6 +77,16 @@ class BreakerConfig:
     threshold: int = 3
     #: base cooldown, in region entries; doubles per re-trip.
     backoff: int = 8
+    #: cooldown ceiling, in region entries: unbounded doubling would
+    #: pin a long-running region's breaker far past any plausible
+    #: recovery window, so growth saturates here.
+    max_cooldown: int = 1024
+    #: max seeded jitter entries added per trip (0 -- the default --
+    #: keeps historical schedules bit-identical).
+    jitter: int = 0
+    #: seed for the trip-jitter hash (shared hook with the stitch
+    #: queue's retry backoff).
+    jitter_seed: int = 0
 
 
 class RegionBreaker:
@@ -95,7 +127,13 @@ class RegionBreaker:
         if self.consecutive >= self.config.threshold or half_open_refail:
             self._streak_trips += 1
             self.trips += 1
-            self.cooldown = self.config.backoff * (1 << (self._streak_trips - 1))
+            cooldown = self.config.backoff * (1 << (self._streak_trips - 1))
+            cooldown = min(cooldown, self.config.max_cooldown)
+            cooldown += seeded_jitter(
+                self.config.jitter_seed,
+                (self.func, self.region_id, self.trips),
+                self.config.jitter)
+            self.cooldown = cooldown
             self.consecutive = 0
             if obs_metrics._enabled:
                 obs_metrics.counter("breaker.trips").labels(

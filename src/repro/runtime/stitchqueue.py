@@ -1,0 +1,475 @@
+"""Deterministic asynchronous stitching: the background job queue.
+
+The paper keeps stitching on the region-entry critical path because it
+is cheap; the compilation-as-a-service direction demands the opposite
+discipline -- a region entry that misses the code cache *enqueues* a
+:class:`StitchJob` and is immediately served by the static fallback
+tier, while a background "compile thread" drains the queue.  This
+module simulates that pipeline on the VM's logical clocks only
+(region entries and simulated cycles -- never wall-clock), so every
+schedule is deterministic, replayable, and fuzzable:
+
+* ``enqueue`` admits a job per (region, key) at a priority equal to
+  the key's observed hotness; when the queue is full the
+  lowest-priority pending job is shed (admission control), counted
+  and surfaced on ``RunResult.queue_stats``.
+* a drain tick runs every ``drain_entries`` region entries (and/or
+  every ``drain_cycles`` simulated cycles).  Each tick first runs the
+  **watchdog** -- jobs older than ``deadline_cycles`` simulated cycles
+  are expired (the engine turns each expiry into a
+  ``RegionBreaker.on_failure``) -- then marks up to ``batch`` pending
+  jobs *ready*, hottest first.
+* a ready job **lands** at the key's next region entry: the table is
+  entry-local, so the stitch must run against the fresh table of an
+  actual entry (the same reason tiering promotions land one entry
+  late).  The stitch charges the normal ``stitcher:`` owner at
+  completion time; entries served from fallback while the job waited
+  are recorded as :class:`QueuedEntry` events -- the oracle's fifth
+  entry class.
+* a failed landing retries with seeded jittered exponential backoff
+  (``backoff_entries * 2**(attempt-1) + jitter`` region entries,
+  via :func:`repro.runtime.guards.seeded_jitter`) until ``retries``
+  attempts are spent; jobs are cancelled when their region's table is
+  invalidated, its cached code evicted, or its breaker trips.
+* two fault sites drive the chaos story: ``queue.drop`` (an enqueue
+  silently dropped -- an injected shed) and ``stitch.hang`` (a ready
+  job wedges and never lands; only the watchdog can clear it).  Both
+  are consulted only by async runs, so configuring them never
+  perturbs a sync run's seeded fault schedule.
+
+Sync mode (``StitchQueueConfig.parse("sync")``, the default)
+constructs no queue at all, which is what keeps every historical
+golden bit-identical.  See ``docs/ROBUSTNESS.md`` ("Async
+stitching").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
+
+from ..obs import trace as obs_trace
+from ..obs.metrics import registry as obs_metrics
+from .guards import seeded_jitter
+
+Key = Tuple
+RegionId = Tuple[str, int]
+
+#: Simulated-cycle bookkeeping costs, charged to the ``stitchq:``
+#: owner so conservation (sum of owners == total cycles) stays exact.
+QUEUE_ENQUEUE_CYCLES = 3
+QUEUE_DRAIN_CYCLES = 2
+
+
+class QueuedEntry(NamedTuple):
+    """A region entry served by fallback *because of the queue* --
+    the miss was admitted (or already waiting) instead of stitched
+    inline.  ``phase`` names where in the job lifecycle the entry
+    landed: ``enqueued`` (this entry created the job), ``waiting``
+    (job pending or backing off), ``hung`` (job wedged by a
+    ``stitch.hang`` fault), ``shed`` (admission control refused the
+    job), or ``dropped`` (a ``queue.drop`` fault ate the enqueue).
+    """
+
+    func_name: str
+    region_id: int
+    key: Key
+    phase: str
+    entry: int
+
+
+@dataclass
+class QueueStats:
+    """End-of-run queue accounting, surfaced on ``RunResult``.
+
+    Conservation: ``enqueued == landed + expired + sum(cancelled) +
+    pending`` -- every admitted job ends in exactly one bucket (the
+    oracle checks this).  ``shed`` and ``dropped`` count enqueue
+    attempts that never became jobs.
+    """
+
+    config: str = "sync"
+    enqueued: int = 0
+    landed: int = 0
+    #: jobs (or enqueue attempts) refused by admission control.
+    shed: int = 0
+    #: enqueue attempts eaten by an injected ``queue.drop`` fault.
+    dropped: int = 0
+    #: jobs expired by the watchdog (deadline exceeded).
+    expired: int = 0
+    #: cancellation reason -> jobs cancelled (breaker / invalidate /
+    #: evict / failed).
+    cancelled: Dict[str, int] = field(default_factory=dict)
+    #: failed landings that were re-queued with backoff.
+    retries: int = 0
+    #: jobs wedged by an injected ``stitch.hang`` fault.
+    hung: int = 0
+    #: jobs still queued when the run ended.
+    pending: int = 0
+    max_depth: int = 0
+    drains: int = 0
+    #: entries-to-land latency per landed job (enqueue to landing).
+    land_latencies: List[int] = field(default_factory=list)
+
+    @property
+    def total_cancelled(self) -> int:
+        return sum(self.cancelled.values())
+
+
+@dataclass(frozen=True)
+class StitchQueueConfig:
+    """Queue tuning; frozen so a parsed spec can be shared freely.
+
+    Spec grammar (parallel to ``TierPolicy``/``CacheConfig``)::
+
+        sync                      -- no queue (the historical engine)
+        async                     -- defaults below
+        async:depth=4,drain=2,cycles=5000,batch=2,deadline=100000,
+              retries=1,backoff=2,jitter=3,seed=7
+    """
+
+    mode: str = "sync"
+    #: max jobs in the queue; admission control sheds beyond this.
+    depth: int = 8
+    #: drain tick period in region entries.
+    drain_entries: int = 4
+    #: optional additional drain trigger in simulated cycles.
+    drain_cycles: Optional[int] = None
+    #: jobs marked ready per drain tick.
+    batch: int = 1
+    #: per-job deadline in simulated cycles (watchdog budget).
+    deadline_cycles: int = 200_000
+    #: failed-landing retries before the job is cancelled.
+    retries: int = 2
+    #: base retry backoff in region entries; doubles per attempt.
+    backoff_entries: int = 4
+    #: max seeded jitter entries added to each backoff (0 disables).
+    jitter: int = 1
+    #: seed for the backoff jitter hash.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("sync", "async"):
+            raise ValueError("stitch mode must be 'sync' or 'async', "
+                             "not %r" % (self.mode,))
+        for name in ("depth", "drain_entries", "batch"):
+            if getattr(self, name) < 1:
+                raise ValueError("stitch queue %s must be >= 1" % name)
+        for name in ("deadline_cycles", "retries", "backoff_entries",
+                     "jitter"):
+            if getattr(self, name) < 0:
+                raise ValueError("stitch queue %s must be >= 0" % name)
+
+    @property
+    def asynchronous(self) -> bool:
+        return self.mode == "async"
+
+    _FIELDS = {"depth": "depth", "drain": "drain_entries",
+               "cycles": "drain_cycles", "batch": "batch",
+               "deadline": "deadline_cycles", "retries": "retries",
+               "backoff": "backoff_entries", "jitter": "jitter",
+               "seed": "seed"}
+
+    @classmethod
+    def parse(cls, spec: Optional[Union[str, "StitchQueueConfig"]]
+              ) -> "StitchQueueConfig":
+        """Parse a spec string; ``None``/``""``/``"off"`` mean sync."""
+        if isinstance(spec, cls):
+            return spec
+        if spec is None:
+            return cls()
+        text = spec.strip()
+        if not text or text in ("sync", "off"):
+            return cls()
+        mode, _, rest = text.partition(":")
+        if mode != "async":
+            raise ValueError("unknown stitch mode %r (want sync or "
+                             "async[:k=v,...])" % text)
+        kwargs: Dict[str, int] = {"mode": "async"}
+        for clause in rest.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            name, sep, value = clause.partition("=")
+            if not sep or name not in cls._FIELDS:
+                raise ValueError(
+                    "bad stitch queue clause %r (want one of %s)"
+                    % (clause, ", ".join(sorted(cls._FIELDS))))
+            try:
+                kwargs[cls._FIELDS[name]] = int(value)
+            except ValueError:
+                raise ValueError("bad stitch queue value %r in %r"
+                                 % (value, clause))
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """A spec string that parses back to this config."""
+        if not self.asynchronous:
+            return "sync"
+        default = StitchQueueConfig(mode="async")
+        parts = []
+        for name in ("depth", "drain", "cycles", "batch", "deadline",
+                     "retries", "backoff", "jitter", "seed"):
+            attr = self._FIELDS[name]
+            value = getattr(self, attr)
+            if value != getattr(default, attr) and value is not None:
+                parts.append("%s=%d" % (name, value))
+        return "async:" + ",".join(parts) if parts else "async"
+
+
+@dataclass
+class StitchJob:
+    """One queued compilation request for a (region, key)."""
+
+    func_name: str
+    region_id: int
+    key: Key
+    #: hotness at enqueue time (tier count, or the queue's own per-key
+    #: counter for eager runs); admission control sheds the coldest.
+    priority: int
+    #: region-entry clock at enqueue (entries-to-land latency base).
+    enqueue_entries: int
+    #: simulated-cycle clock at enqueue (deadline base).
+    enqueue_cycles: int
+    #: admission order; the deterministic tie-break everywhere.
+    seq: int
+    #: ``pending`` -> ``ready`` -> landed; ``hung`` is terminal until
+    #: the watchdog expires it.
+    state: str = "pending"
+    #: landing attempts so far (bumped by each failed stitch).
+    attempts: int = 0
+    #: entry clock before which a backing-off job may not go ready.
+    not_before: int = 0
+
+    @property
+    def region(self) -> RegionId:
+        return (self.func_name, self.region_id)
+
+
+class StitchQueue:
+    """The deterministic background-stitching scheduler for one run."""
+
+    def __init__(self, config: StitchQueueConfig, vm, faults=None):
+        assert config.asynchronous, "sync runs construct no queue"
+        self.config = config
+        self.vm = vm
+        self.faults = faults
+        self.jobs: Dict[Tuple[str, int, Key], StitchJob] = {}
+        self.stats = QueueStats(config=config.describe())
+        #: region-entry clock (every lookup of any region ticks it).
+        self.entry_clock = 0
+        self._seq = 0
+        self._last_drain_cycles = 0
+        #: per-key entry counts for eager runs (priority source when no
+        #: tier controller tracks hotness).
+        self._key_counts: Dict[Tuple[str, int, Key], int] = {}
+        #: engine callback: a job exceeded its deadline (watchdog).
+        self.on_deadline = None
+        #: the job whose stitch is running right now: a cache
+        #: invalidation triggered by its own install must not cancel
+        #: it out from under the landing.
+        self.landing: Optional[StitchJob] = None
+
+    # -- clocks ------------------------------------------------------------
+
+    def on_entry(self) -> None:
+        """Tick the logical clock; drain when a tick period elapses."""
+        self.entry_clock += 1
+        due = self.entry_clock % self.config.drain_entries == 0
+        if not due and self.config.drain_cycles:
+            due = (self.vm.cycles - self._last_drain_cycles
+                   >= self.config.drain_cycles)
+        if due and self.jobs:
+            self.drain()
+
+    def drain(self) -> None:
+        """One background-compiler tick: watchdog, then readiness."""
+        self.stats.drains += 1
+        self._last_drain_cycles = self.vm.cycles
+        self.vm.charge("stitchq:sched", QUEUE_DRAIN_CYCLES)
+        deadline = self.config.deadline_cycles
+        if deadline:
+            for job in [j for j in self.jobs.values()
+                        if self.vm.cycles - j.enqueue_cycles > deadline]:
+                self._expire(job)
+        ready_slots = self.config.batch
+        if not ready_slots:
+            return
+        eligible = sorted(
+            (job for job in self.jobs.values()
+             if job.state == "pending"
+             and job.not_before <= self.entry_clock),
+            key=lambda job: (-job.priority, job.seq))
+        for job in eligible[:ready_slots]:
+            job.state = "ready"
+
+    # -- admission ---------------------------------------------------------
+
+    def key_count(self, func: str, region_id: int, key: Key) -> int:
+        """Bump and return the queue's own hotness counter (used as
+        priority when no tier controller is tracking the key)."""
+        slot = (func, region_id, key)
+        count = self._key_counts.get(slot, 0) + 1
+        self._key_counts[slot] = count
+        return count
+
+    def get(self, func: str, region_id: int,
+            key: Key) -> Optional[StitchJob]:
+        return self.jobs.get((func, region_id, key))
+
+    def enqueue(self, func: str, region_id: int, key: Key,
+                priority: int) -> str:
+        """Admit a job; returns the phase for the QueuedEntry record
+        (``enqueued``, ``shed``, or ``dropped``)."""
+        self.vm.charge("stitchq:%s:%d" % (func, region_id),
+                       QUEUE_ENQUEUE_CYCLES)
+        if self.faults is not None and self.faults.should_fire(
+                "queue.drop", region=(func, region_id)):
+            self.stats.dropped += 1
+            self.stats.shed += 1
+            self._instant("stitch.shed", func, region_id, key,
+                          injected=True)
+            return "dropped"
+        if len(self.jobs) >= self.config.depth:
+            victim = min(
+                (job for job in self.jobs.values()
+                 if job.state == "pending"),
+                key=lambda job: (job.priority, -job.seq), default=None)
+            if victim is None or victim.priority >= priority:
+                # Nothing colder than the newcomer: shed the newcomer.
+                self.stats.shed += 1
+                self._instant("stitch.shed", func, region_id, key,
+                              injected=False)
+                return "shed"
+            del self.jobs[(victim.func_name, victim.region_id,
+                           victim.key)]
+            self.stats.shed += 1
+            self._instant("stitch.shed", victim.func_name,
+                          victim.region_id, victim.key, injected=False)
+        job = StitchJob(func, region_id, key, priority,
+                        enqueue_entries=self.entry_clock,
+                        enqueue_cycles=self.vm.cycles, seq=self._seq)
+        self._seq += 1
+        self.jobs[(func, region_id, key)] = job
+        self.stats.enqueued += 1
+        self.stats.max_depth = max(self.stats.max_depth, len(self.jobs))
+        self._instant("stitch.enqueue", func, region_id, key,
+                      priority=priority)
+        self._gauge()
+        return "enqueued"
+
+    # -- landing -----------------------------------------------------------
+
+    def land(self, job: StitchJob) -> None:
+        """A ready job's stitch completed at a region entry."""
+        del self.jobs[(job.func_name, job.region_id, job.key)]
+        latency = self.entry_clock - job.enqueue_entries
+        self.stats.landed += 1
+        self.stats.land_latencies.append(latency)
+        self._instant("stitch.land", job.func_name, job.region_id,
+                      job.key, latency=latency, attempts=job.attempts)
+        if obs_metrics._enabled:
+            obs_metrics.counter("stitchq.landed").inc()
+            obs_metrics.counter("stitchq.latency_entries").inc(latency)
+        self._gauge()
+
+    def on_land_failure(self, job: StitchJob) -> bool:
+        """A landing attempt raised; back off and retry, or cancel.
+
+        Returns True when the job stays queued for another attempt.
+        """
+        job.attempts += 1
+        if job.attempts > self.config.retries:
+            self.cancel(job, "failed")
+            return False
+        backoff = self.config.backoff_entries * (1 << (job.attempts - 1))
+        backoff += seeded_jitter(
+            self.config.seed,
+            (job.func_name, job.region_id, job.key, job.attempts),
+            self.config.jitter)
+        job.state = "pending"
+        job.not_before = self.entry_clock + backoff
+        self.stats.retries += 1
+        self._instant("stitch.retry", job.func_name, job.region_id,
+                      job.key, attempt=job.attempts, backoff=backoff)
+        return True
+
+    def mark_hung(self, job: StitchJob) -> None:
+        """An injected ``stitch.hang``: the job wedges until the
+        watchdog's deadline clears it."""
+        job.state = "hung"
+        self.stats.hung += 1
+        self._instant("stitch.hang", job.func_name, job.region_id,
+                      job.key)
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, job: StitchJob, reason: str) -> None:
+        if job is self.landing:
+            return
+        if self.jobs.pop((job.func_name, job.region_id, job.key),
+                         None) is None:
+            return
+        self.stats.cancelled[reason] = \
+            self.stats.cancelled.get(reason, 0) + 1
+        self._instant("stitch.cancel", job.func_name, job.region_id,
+                      job.key, reason=reason)
+        self._gauge()
+
+    def cancel_region(self, func: str, region_id: int,
+                      reason: str) -> int:
+        """Cancel every job of a region (breaker trip, table
+        invalidation); returns how many were cancelled."""
+        doomed = [job for job in self.jobs.values()
+                  if job.region == (func, region_id)]
+        for job in doomed:
+            self.cancel(job, reason)
+        return len(doomed)
+
+    def cancel_key(self, func: str, region_id: int, key: Key,
+                   reason: str) -> None:
+        job = self.jobs.get((func, region_id, key))
+        if job is not None:
+            self.cancel(job, reason)
+
+    def region_in_flight(self, region: RegionId) -> bool:
+        """Does the region have queued jobs?  The code cache consults
+        this to pin the region's installed code against eviction while
+        compilation is in flight."""
+        return any(job.region == region for job in self.jobs.values())
+
+    # -- watchdog ----------------------------------------------------------
+
+    def _expire(self, job: StitchJob) -> None:
+        if self.jobs.pop((job.func_name, job.region_id, job.key),
+                         None) is None:
+            return  # already cancelled by a sibling's breaker trip
+        self.stats.expired += 1
+        self._instant("stitch.deadline", job.func_name, job.region_id,
+                      job.key, age=self.vm.cycles - job.enqueue_cycles,
+                      hung=job.state == "hung")
+        if obs_metrics._enabled:
+            obs_metrics.counter("stitchq.expired").inc()
+        if self.on_deadline is not None:
+            self.on_deadline(job)
+        self._gauge()
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> QueueStats:
+        self.stats.pending = len(self.jobs)
+        return self.stats
+
+    def _gauge(self) -> None:
+        if obs_metrics._enabled:
+            obs_metrics.gauge("stitchq.depth").set(len(self.jobs))
+
+    def _instant(self, name: str, func: str, region_id: int, key: Key,
+                 **fields) -> None:
+        if obs_metrics._enabled:
+            obs_metrics.counter(
+                name.replace("stitch.", "stitchq.", 1)).inc()
+        if obs_trace._current is not None:
+            obs_trace.instant(name, "stitchq",
+                              region="%s:%d" % (func, region_id),
+                              key=list(key), **fields)

@@ -257,6 +257,8 @@ class _RegionState:
     #: key -> predicted break-even entry count at decision time.
     predicted: Dict[Key, int] = field(default_factory=dict)
     cold_entries: int = 0
+    #: entries served from fallback while an async stitch job waited.
+    queued_entries: int = 0
     promotions: int = 0
     speculative_promotions: int = 0
     demotions: int = 0
@@ -404,6 +406,16 @@ class TierController:
                               region="%s:%d" % region, key=list(key),
                               count=state.counts.get(key, 0))
 
+    def on_queued(self, func: str, region_id: int, key: Key) -> None:
+        """An async-stitching entry served from fallback while its job
+        waits in the queue: not a demotion and not cold-by-policy, but
+        the fallback cycles it accrues must still settle against this
+        key so break-even measurements stay honest."""
+        region = (func, region_id)
+        state = self._state(region)
+        state.queued_entries += 1
+        state.pending = key
+
     def on_degraded(self, func: str, region_id: int, key: Key) -> None:
         """A degradation fallback (fault/budget/error/breaker) in an
         adaptive run: keep the cycle attribution honest and count a
@@ -498,6 +510,7 @@ class TierController:
                 "promoted_keys": [repr(list(k))
                                   for k in sorted(state.promoted)],
                 "cold_entries": state.cold_entries,
+                "queued_entries": state.queued_entries,
                 "promotions": state.promotions,
                 "speculative_promotions": state.speculative_promotions,
                 "demotions": state.demotions,

@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..backends import get_backend
 from ..codecache import CacheConfig
-from ..faults import FaultPlan
+from ..faults import NON_RAISING_SITES, FaultPlan
 from ..frontend.errors import AnnotationError, CompileError
 from ..frontend.parser import parse
 from ..frontend.typecheck import check
@@ -175,6 +175,7 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             cache_config: Optional[CacheConfig] = None,
             faults: Optional[str] = None,
             tier: Optional[str] = None,
+            stitch: Optional[str] = None,
             backend: Optional[str] = None,
             ) -> Tuple[OracleOutcome, Optional[Program], list]:
     try:
@@ -183,7 +184,8 @@ def _vm_leg(leg: str, source: str, args: List[int], mode: str,
             use_reachability=use_reachability,
             stitcher_costs=stitcher_costs,
             register_actions=register_actions,
-            cache_config=cache_config, tier=tier, backend=backend)
+            cache_config=cache_config, tier=tier, stitch=stitch,
+            backend=backend)
     except AnnotationError as exc:
         return (OracleOutcome(leg, "annotation-reject",
                               error="%s: %s" % (type(exc).__name__, exc)),
@@ -313,14 +315,16 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
         failures.append(
             "re-stitches not word-identical to original stitches: %s"
             % ", ".join(cache_stats.restitch_mismatches[:4]))
-    # Region-entry accounting: every lookup is a cache hit, a stitch,
-    # a fallback transfer, or (under an adaptive tier) a cold entry,
-    # so per region entries == hits + stitches + fallbacks +
-    # cold_entries (the runtime records every event precisely so this
-    # can be checked).
+    # Region-entry accounting: every lookup is a cache hit, a stitch
+    # (a landed one, in async mode), a fallback transfer, a cold entry
+    # (under an adaptive tier), or a queued-fallback entry (async
+    # mode), so per region entries == hits + stitches + fallbacks +
+    # cold_entries + queued_entries (the runtime records every event
+    # precisely so this five-way partition can be checked).
     entries = getattr(result, "region_entries", None)
     fallback_events = getattr(result, "fallbacks", []) or []
     cold_events = getattr(result, "cold_entries", []) or []
+    queued_events = getattr(result, "queued_entries", []) or []
     if entries is not None:
         stitches: Dict[Tuple[str, int], int] = {}
         for report in result.stitch_reports:
@@ -338,28 +342,36 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
         for cold in cold_events:
             key = (cold.func_name, cold.region_id)
             colds[key] = colds.get(key, 0) + 1
+        queued: Dict[Tuple[str, int], int] = {}
+        for event in queued_events:
+            key = (event.func_name, event.region_id)
+            queued[key] = queued.get(key, 0) + 1
         for key in (set(entries) | set(stitches) | set(hits)
-                    | set(falls) | set(colds)):
+                    | set(falls) | set(colds) | set(queued)):
             observed = entries.get(key, 0)
             expected = (hits.get(key, 0) + stitches.get(key, 0)
-                        + falls.get(key, 0) + colds.get(key, 0))
+                        + falls.get(key, 0) + colds.get(key, 0)
+                        + queued.get(key, 0))
             if observed != expected:
                 failures.append(
                     "region %s:%d: %d entries != %d cache hits + %d "
-                    "stitches + %d fallbacks + %d cold entries"
+                    "stitches + %d fallbacks + %d cold entries + %d "
+                    "queued entries"
                     % (key[0], key[1], observed, hits.get(key, 0),
                        stitches.get(key, 0), falls.get(key, 0),
-                       colds.get(key, 0)))
+                       colds.get(key, 0), queued.get(key, 0)))
     failures.extend(_check_tier_invariants(result))
+    failures.extend(_check_queue_invariants(result))
     # Fault accounting: every injected fault must be matched by an
     # observed recovery.  Raising sites produce injected fallback
-    # events; the checksum site produces a verification failure (and a
-    # re-stitch) instead, and tier.flip perturbs a (non-raising)
-    # tiering decision -- neither produces a fallback event.
+    # events; the non-raising sites recover differently -- checksum
+    # produces a verification failure (and a re-stitch), tier.flip
+    # perturbs a tiering decision, queue.drop sheds a queued job, and
+    # stitch.hang wedges one (each checked against the queue stats).
     fault_counts = getattr(result, "fault_counts", None)
     if fault_counts:
         raised = sum(count for site, count in fault_counts.items()
-                     if site not in ("cache.checksum", "tier.flip"))
+                     if site not in NON_RAISING_SITES)
         injected_falls = sum(1 for event in fallback_events
                              if event.injected)
         if raised != injected_falls:
@@ -374,6 +386,57 @@ def check_stitch_invariants(program: Program, result) -> List[str]:
                 "fault accounting: %d injected checksum faults != %d "
                 "observed checksum failures"
                 % (checksum, observed_checksum))
+        queue_stats = getattr(result, "queue_stats", None)
+        for site, attr in (("queue.drop", "dropped"),
+                           ("stitch.hang", "hung")):
+            injected = fault_counts.get(site, 0)
+            observed = getattr(queue_stats, attr, 0) \
+                if queue_stats is not None else 0
+            if injected != observed:
+                failures.append(
+                    "fault accounting: %d injected %s faults != %d "
+                    "observed %s jobs" % (injected, site, observed, attr))
+    return failures
+
+
+def _check_queue_invariants(result) -> List[str]:
+    """The async-stitching invariant set (empty for sync runs).
+
+    * a sync run records no queued entries and no queue stats at all;
+    * job conservation: every admitted job ends in exactly one bucket
+      -- enqueued == landed + expired + cancelled + pending;
+    * every landed job is a stitch report and its entries-to-land
+      latency is non-negative;
+    * shed accounting covers every injected drop.
+    """
+    failures: List[str] = []
+    queue_stats = getattr(result, "queue_stats", None)
+    queued_events = getattr(result, "queued_entries", []) or []
+    if queue_stats is None:
+        if queued_events:
+            failures.append(
+                "sync run recorded %d queued entries" % len(queued_events))
+        return failures
+    accounted = (queue_stats.landed + queue_stats.expired
+                 + queue_stats.total_cancelled + queue_stats.pending)
+    if queue_stats.enqueued != accounted:
+        failures.append(
+            "queue accounting: %d enqueued != %d landed + %d expired "
+            "+ %d cancelled + %d pending"
+            % (queue_stats.enqueued, queue_stats.landed,
+               queue_stats.expired, queue_stats.total_cancelled,
+               queue_stats.pending))
+    if len(queue_stats.land_latencies) != queue_stats.landed:
+        failures.append(
+            "queue accounting: %d land latencies != %d landed jobs"
+            % (len(queue_stats.land_latencies), queue_stats.landed))
+    if any(latency < 0 for latency in queue_stats.land_latencies):
+        failures.append("queue accounting: negative entries-to-land "
+                        "latency %r" % (queue_stats.land_latencies,))
+    if queue_stats.dropped > queue_stats.shed:
+        failures.append(
+            "queue accounting: %d injected drops exceed %d shed events"
+            % (queue_stats.dropped, queue_stats.shed))
     return failures
 
 
@@ -498,6 +561,7 @@ def run_oracle(source: str, args: List[int],
                cache_config: Optional[CacheConfig] = None,
                faults: Optional[str] = None,
                tier: Optional[str] = None,
+               stitch: Optional[str] = None,
                backend: Optional[str] = None,
                backend_leg: bool = True) -> OracleReport:
     """Run all legs on ``main(args...)`` and compare.
@@ -519,6 +583,11 @@ def run_oracle(source: str, args: List[int],
     all observe bit-identical results and that the tiering invariant
     set (entries == hits + stitches + fallbacks + cold entries, no
     under-threshold promotions) holds whatever the policy decides.
+    ``stitch`` (a :meth:`StitchQueueConfig.parse` spec) applies to
+    the same dynamic legs: under ``async`` queueing, entries are
+    served from fallback until their background stitch lands, and the
+    five-way partition plus queue-conservation invariants must hold
+    while every observable still matches the interpreter bit-for-bit.
     ``backend`` names the execution backend for every VM leg (default
     ``rvm``); when ``backend_leg`` is true the oracle adds one more
     dynamic leg -- the same configuration under the *other* registered
@@ -537,7 +606,8 @@ def run_oracle(source: str, args: List[int],
         "dynamic", source, args, "dynamic", opt_options=opt_options,
         use_reachability=use_reachability, runs=2,
         check_invariants=check_invariants, max_cycles=max_cycles,
-        cache_config=cache_config, faults=faults, backend=primary)
+        cache_config=cache_config, faults=faults, stitch=stitch,
+        backend=primary)
     outcomes = {"interp": interp, "static": static, "dynamic": dynamic}
 
     _compare(interp, static, divergences)
@@ -556,7 +626,8 @@ def run_oracle(source: str, args: List[int],
             leg_name, source, args, "dynamic", opt_options=opt_options,
             use_reachability=use_reachability, runs=2,
             check_invariants=check_invariants, max_cycles=max_cycles,
-            cache_config=cache_config, faults=faults, backend=other)
+            cache_config=cache_config, faults=faults, stitch=stitch,
+            backend=other)
         outcomes[leg_name] = cross
         _compare(interp, cross, divergences)
         if not any(leg_name in (d.left, d.right) for d in divergences):
@@ -571,7 +642,7 @@ def run_oracle(source: str, args: List[int],
             opt_options=opt_options, use_reachability=use_reachability,
             register_actions=True, check_invariants=check_invariants,
             max_cycles=max_cycles, cache_config=cache_config,
-            faults=faults, backend=primary)
+            faults=faults, stitch=stitch, backend=primary)
         outcomes["dynamic+regactions"] = actions
         _compare(interp, actions, divergences)
         for failure in action_invariants:
@@ -584,7 +655,7 @@ def run_oracle(source: str, args: List[int],
             opt_options=opt_options, use_reachability=use_reachability,
             runs=2, check_invariants=check_invariants,
             max_cycles=max_cycles, cache_config=cache_config,
-            faults=faults, tier=tier, backend=primary)
+            faults=faults, tier=tier, stitch=stitch, backend=primary)
         outcomes["dynamic+tiered"] = tiered
         _compare(interp, tiered, divergences)
         if not any("dynamic+tiered" in (d.left, d.right)

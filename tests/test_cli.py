@@ -137,6 +137,27 @@ def test_tier_bad_spec_rejected(source_file):
     assert "--tier" in proc.stderr
 
 
+def test_stitch_mode_async_flag(source_file):
+    proc = run_cli(source_file, "--args", "10",
+                   "--stitch-mode", "async:drain=2")
+    assert proc.returncode == 0, proc.stderr
+    assert "214" in proc.stdout  # same value as the sync run
+    assert "stitchq[async:drain=2]" in proc.stdout
+    assert "enqueued" in proc.stdout
+
+
+def test_stitch_mode_sync_prints_no_queue_summary(source_file):
+    proc = run_cli(source_file, "--args", "10")
+    assert proc.returncode == 0
+    assert "stitchq[" not in proc.stdout
+
+
+def test_stitch_mode_bad_spec_rejected(source_file):
+    proc = run_cli(source_file, "--stitch-mode", "sometimes")
+    assert proc.returncode == 2
+    assert "--stitch-mode" in proc.stderr
+
+
 # -- bench --seed threading (regression) --------------------------------------
 
 def test_bench_seed_threads_to_cache_pressure_sweep(monkeypatch, capsys):

@@ -44,12 +44,20 @@ def corpus_backend(text: str):
     return match.group(1) if match else None
 
 
+def corpus_stitch(text: str):
+    """Stitch-queue spec from a reproducer's ``// stitch:`` header, if
+    any -- written by the fuzzer for queue-specific divergences."""
+    match = re.search(r"^// stitch:\s*(\S+)", text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
 @pytest.mark.parametrize(
     "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
 def test_corpus_reproducer_stays_fixed(path: Path) -> None:
     text = path.read_text()
     for arg in corpus_args(text):
         report = run_oracle(text, [arg], tier=corpus_tier(text),
+                            stitch=corpus_stitch(text),
                             backend=corpus_backend(text))
         assert not report.annotation_reject, \
             "%s (arg %d): dynamic leg rejected: %s" \
@@ -69,9 +77,32 @@ def test_corpus_reproducer_stays_fixed_under_pycode(path: Path) -> None:
     text = path.read_text()
     for arg in corpus_args(text):
         report = run_oracle(text, [arg], tier=corpus_tier(text),
+                            stitch=corpus_stitch(text),
                             backend="pycode")
         assert not report.divergences, \
             "%s (arg %d): %s" % (path.name, arg, report.divergences)
+
+
+@pytest.mark.parametrize("backend", [None, "pycode"])
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
+def test_corpus_reproducer_replays_under_async_stitching(
+        path: Path, backend) -> None:
+    """Every known-tricky program replays clean when its dynamic legs
+    stitch through the async queue, on both backends -- the queue may
+    reschedule compilation but never change results.  Reproducers
+    pinned to a specific queue config by a ``// stitch:`` header keep
+    their recorded spec."""
+    text = path.read_text()
+    stitch = corpus_stitch(text) or "async:drain=2,depth=2"
+    for arg in corpus_args(text):
+        report = run_oracle(text, [arg], tier=corpus_tier(text),
+                            stitch=stitch,
+                            backend=corpus_backend(text) or backend)
+        assert not report.annotation_reject or report.ok
+        assert not report.divergences, \
+            "%s (arg %d, stitch=%s): %s" \
+            % (path.name, arg, stitch, report.divergences)
 
 
 def test_corpus_headers_well_formed() -> None:

@@ -203,6 +203,47 @@ def test_compare_without_trajectories_errors(tmp_path, capsys):
     assert "no trajectory files" in capsys.readouterr().err
 
 
+def test_compare_missing_trajectory_is_one_line_error(tmp_path, capsys):
+    """A named benchmark with no BENCH_<name>.json must fail with one
+    actionable line (and with --run, before wasting time collecting a
+    candidate), never a traceback."""
+    assert obs_main(["compare", "stitchqueue",
+                     "--dir", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "no trajectory file" in err
+    assert "repro.obs record stitchqueue" in err
+    assert obs_main(["compare", "--run", "stitchqueue",
+                     "--dir", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "no trajectory file" in err
+    assert "collecting" not in err  # failed fast, before collection
+
+
+def test_compare_empty_trajectory_is_one_line_error(tmp_path, capsys):
+    (tmp_path / "BENCH_stitchqueue.json").write_text(
+        '{"schema": 1, "trajectory": []}\n')
+    assert obs_main(["compare", "stitchqueue",
+                     "--dir", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "trajectory is empty" in err
+    assert "repro.obs record stitchqueue" in err
+
+
+def test_record_and_compare_stitchqueue(tmp_path, capsys):
+    """The stitchqueue collector records the async cells plus the hang
+    gate, and an identical deterministic rerun gates clean."""
+    assert obs_main(["record", "stitchqueue", "--dir",
+                     str(tmp_path)]) == 0
+    document = json.loads(
+        (tmp_path / "BENCH_stitchqueue.json").read_text())
+    rows = document["trajectory"][-1]["rows"]
+    assert "hang gate" in rows
+    assert any("async" in name for name in rows)
+    assert obs_main(["compare", "--run", "stitchqueue", "--dir",
+                     str(tmp_path)]) == 0
+    assert "stitchqueue: OK" in capsys.readouterr().out
+
+
 def test_main_cli_metrics_out(tmp_path, source_file):
     metrics_path = tmp_path / "metrics.json"
     proc = subprocess.run(
